@@ -1,0 +1,41 @@
+"""Cost-model guidance (paper Sec. 6 future work, made concrete).
+
+The guided tile choice — picked from cheap probe-size simulations — must
+recover nearly all of the exhaustively-found best speedup at the target
+size, and the variant decision must agree with ground truth at both ends
+of the sweep.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import costguide
+
+
+def test_guided_tile_near_optimal(benchmark, sweep_config):
+    def study():
+        out = {}
+        n = sweep_config.sizes[-1]
+        for kernel in ("cholesky", "jacobi"):
+            guided, best = costguide.guided_speedup(kernel, n, sweep_config)
+            out[kernel] = {"guided": round(guided, 3), "best": round(best, 3)}
+        return out
+
+    result = benchmark.pedantic(study, rounds=1, iterations=1)
+    benchmark.extra_info.update(result)
+    for kernel, r in result.items():
+        assert r["guided"] >= 0.9 * r["best"], (kernel, r)
+
+
+def test_variant_decision_matches_ground_truth(benchmark, sweep_config):
+    def study():
+        big = sweep_config.sizes[-1]
+        return {
+            "cholesky_big": costguide.choose_variant("cholesky", big, sweep_config),
+            "jacobi_big": costguide.choose_variant("jacobi", big, sweep_config),
+        }
+
+    result = benchmark.pedantic(study, rounds=1, iterations=1)
+    benchmark.extra_info.update(result)
+    # At the large end tiling always wins (Figure 5).
+    assert result["cholesky_big"] == "tiled"
+    assert result["jacobi_big"] == "tiled"

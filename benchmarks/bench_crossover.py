@@ -1,0 +1,31 @@
+"""Crossover benchmark: where tiling's locality gain outgrows the
+code-sinking overhead (sunk-guard tiled codes vs sequential).
+
+Shape expectations: the three factorisations break even shortly after the
+working set outgrows the (scaled) L2 — between ~1x and ~2x the L2-fill
+order — while Jacobi wins essentially from the start (paper: Jacobi's
+smallest speedup is 2.16; LU's dips below 1 at the small end).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import crossover
+
+L2_FILL = 64  # scaled machine
+
+
+def test_crossovers(benchmark, sweep_config):
+    results = benchmark.pedantic(
+        crossover.generate, args=(sweep_config,), rounds=1, iterations=1
+    )
+    by_kernel = {r.kernel: r for r in results}
+    benchmark.extra_info["break_even"] = {
+        k: r.break_even_n for k, r in by_kernel.items()
+    }
+    for kernel in ("lu", "qr", "cholesky"):
+        n = by_kernel[kernel].break_even_n
+        assert n is not None, f"{kernel} never broke even"
+        assert L2_FILL * 0.9 <= n <= L2_FILL * 2.0, (
+            f"{kernel} break-even {n} outside the L2-transition band"
+        )
+    assert by_kernel["jacobi"].break_even_n <= 24, "Jacobi wins early"

@@ -1,0 +1,57 @@
+"""Figure 5 — tiled-over-sequential speedups for all four kernels.
+
+Paper shape to reproduce: every kernel speeds up at large N; Jacobi shows
+the largest speedups; small sizes can dip below 1 (the paper's LU starts
+at 0.98).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure5
+from repro.experiments.runner import run_pair
+from repro.kernels.registry import KERNELS
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_figure5_kernel(benchmark, sweep_config, kernel):
+    """Regenerate one kernel's Figure-5 speedup series."""
+
+    def series():
+        return [
+            (n, run_pair(kernel, n, sweep_config)[2]) for n in sweep_config.sizes
+        ]
+
+    rows = benchmark.pedantic(series, rounds=1, iterations=1)
+    speedups = [s for _, s in rows]
+    benchmark.extra_info["series"] = rows
+    benchmark.extra_info["paper_range"] = figure5.PAPER_SPEEDUP_RANGES[kernel]
+    # Shape assertions: tiling wins at the largest size for every kernel.
+    assert speedups[-1] > 1.0, f"{kernel}: tiled must win at the largest N"
+    # And the largest size beats the smallest (the trend of every paper curve).
+    assert speedups[-1] > speedups[0]
+
+
+def test_figure5_jacobi_wins_most(benchmark, sweep_config):
+    """Jacobi's speedup tops the other kernels at the largest size (paper:
+    'The speedups of Jacobi are the most impressive')."""
+
+    def largest_size_speedups():
+        n = sweep_config.sizes[-1]
+        return {k: run_pair(k, n, sweep_config)[2] for k in KERNELS}
+
+    result = benchmark.pedantic(largest_size_speedups, rounds=1, iterations=1)
+    benchmark.extra_info["speedups"] = result
+    assert result["jacobi"] >= max(v for k, v in result.items() if k != "jacobi") * 0.9
+
+
+def test_figure5_full_table(benchmark, sweep_config):
+    """The complete Figure-5 table (all kernels x all sizes)."""
+    rows = benchmark.pedantic(
+        figure5.generate, args=(sweep_config,), rounds=1, iterations=1
+    )
+    benchmark.extra_info["table"] = [
+        (r.kernel, r.n, round(r.speedup, 3)) for r in rows
+    ]
+    assert len(rows) == len(KERNELS) * len(sweep_config.sizes)

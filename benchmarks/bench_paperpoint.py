@@ -1,0 +1,24 @@
+"""Anchor benchmark: Cholesky at the paper's N = 238 on the true Octane2.
+
+The one measurement made with the paper's actual cache geometry and PDAT
+tile (45). Shape assertions mirror the paper's small-end behaviour:
+a modest speedup (Fig. 5 Cholesky starts at 1.11), driven entirely by L1
+(the 453 KB matrix fits the 2 MB L2).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import paperpoint
+
+
+def test_paper_anchor_point(benchmark):
+    point = benchmark.pedantic(paperpoint.measure, rounds=1, iterations=1)
+    benchmark.extra_info["point"] = {
+        "speedup": round(point.speedup, 3),
+        "l1": (point.seq_l1, point.tiled_l1),
+        "l2": (point.seq_l2, point.tiled_l2),
+    }
+    assert 1.0 < point.speedup < 1.6, "small-end speedup band (paper: 1.11)"
+    assert point.tiled_l1 < point.seq_l1 * 0.75, "L1 misses must drop"
+    assert point.tiled_l2 == point.seq_l2, "L2 is cold-miss-only at N=238"
+    assert point.tile == 45, "PDAT on the real 32 KB L1"

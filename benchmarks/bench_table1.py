@@ -1,0 +1,18 @@
+"""Table 1 — the capability-comparison matrix.
+
+The prior-work rows come from structural predicates over the kernel IR;
+the "this work" row is computed by actually running FixDeps. The bench
+asserts exact agreement with the paper's table.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark):
+    table = benchmark.pedantic(table1.generate, rounds=1, iterations=1)
+    benchmark.extra_info["table"] = {
+        method: cols for method, cols in table.items()
+    }
+    assert table == table1.PAPER_TABLE1

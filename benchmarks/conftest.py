@@ -1,0 +1,24 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one of the paper's tables/figures through the
+full pipeline (kernel build -> traced execution -> machine simulation) and
+attaches the regenerated rows/series to the benchmark record via
+``extra_info``, so ``--benchmark-json`` output contains the reproduced
+numbers alongside the timings.
+
+Measurements are disk-cached across processes (``.repro_cache``) because a
+full sweep point costs seconds; delete the directory (or set
+``REPRO_NO_CACHE=1``) to force clean re-measurement.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.sweep import SweepConfig, default_config
+
+
+@pytest.fixture(scope="session")
+def sweep_config() -> SweepConfig:
+    """Quick sweep by default; REPRO_FULL_SWEEP=1 for the full curve."""
+    return default_config()

@@ -1,0 +1,99 @@
+"""Fixing a kernel of your own with the library's public API.
+
+A producer/consumer pair the paper's algorithm handles but naive fusion
+breaks: the first nest computes a prefix-shifted copy, the second reads a
+*forward* neighbour of the original array — a fusion-preventing
+anti-dependence (like Jacobi's) plus a fusion-preventing flow dependence
+through a running scalar (like QR's norm).
+
+    do i = 2, N                 ! nest 1
+      s = s + A(i)              !   running checksum of A
+      B(i) = A(i-1)
+    do i = 2, N                 ! nest 2
+      A(i) = B(i) * 0.5 + s     !   overwrites what nest 1 still reads?
+
+(Nest 2 at iteration i' overwrites A(i'), which nest 1 at i = i'+1 still
+needs — violated anti-dependence; and it reads the *final* checksum s
+while nest 1 is still accumulating — violated flow dependence.)
+
+Run:  python examples/fix_your_own_kernel.py
+"""
+
+import numpy as np
+
+from repro.deps.fusionpreventing import summarize, violated_dependences
+from repro.exec import run_compiled
+from repro.ir import ArrayDecl, Program, ScalarDecl, assign, idx, loop, pretty, sym
+from repro.trans.fixdeps import fix_dependences
+from repro.trans.fusion import NestEmbedding, fuse_siblings
+
+N, i = sym("N"), sym("i")
+
+
+def build_kernel() -> Program:
+    nest1 = loop(
+        "i",
+        2,
+        N,
+        [
+            assign("s", sym("s") + idx("A", i)),
+            assign(idx("B", i), idx("A", i - 1)),
+        ],
+    )
+    nest2 = loop("i", 2, N, [assign(idx("A", i), idx("B", i) * 0.5 + sym("s"))])
+    return Program(
+        "shift_scale",
+        ("N",),
+        (ArrayDecl("A", (N,)), ArrayDecl("B", (N,))),
+        (ScalarDecl("s"),),
+        (nest1, nest2),
+        outputs=("A", "B"),
+    )
+
+
+def reference(n: int, a0: np.ndarray) -> dict[str, np.ndarray]:
+    a = a0.copy()
+    b = np.zeros(n)
+    s = a[1:].sum()
+    b[1:] = a[:-1]
+    a[1:] = b[1:] * 0.5 + s
+    return {"A": a, "B": b}
+
+
+def main() -> None:
+    program = build_kernel()
+    print("=== the kernel ===")
+    print(pretty(program))
+
+    # Fuse the two nests with the identity embedding.
+    ident = NestEmbedding(var_map={"i": "i"})
+    from repro.ir import val
+
+    nest = fuse_siblings(program, [("i", val(2), N)], [ident, ident])
+
+    print("\n=== violated dependences ===")
+    for key, count in sorted(summarize(violated_dependences(nest)).items()):
+        print(f"  {key}   x{count}")
+
+    report = fix_dependences(nest)
+    print("\ncollapses:", report.ww_wr.collapsed_groups() or "none")
+    print("copies:", [i.copy_array for i in report.rw.insertions] or "none")
+    fixed = report.program("shift_scale_fixed")
+    print("\n=== the fixed fused kernel ===")
+    print(pretty(fixed))
+
+    rng = np.random.default_rng(7)
+    for n in (5, 12, 33):
+        a0 = rng.random(n)
+        ref = reference(n, a0)
+        naive = run_compiled(nest.to_program(), {"N": n}, {"A": a0})
+        good = run_compiled(fixed, {"N": n}, {"A": a0})
+        assert not np.allclose(naive.arrays["A"], ref["A"]), "fusion alone is wrong"
+        assert np.allclose(good.arrays["A"], ref["A"]), n
+        assert np.allclose(good.arrays["B"], ref["B"]), n
+    print("\nnaive fusion diverges; the fixed kernel matches the reference "
+          "at N = 5, 12, 33.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Cost-model-guided tiling: the paper's future work, running.
+
+The paper closes with: "Another [future work] is to develop a cost model
+for guiding our and other transformations for locality enhancement." The
+simulated machine is such a cost model. This example lets it make two real
+decisions for Cholesky:
+
+1. *which tile size* — candidates are raced at a cheap probe size just past
+   the L2 transition, and the winner is applied at the target size;
+2. *whether to tile at all* — at sizes below the crossover the model
+   correctly keeps the sequential code.
+
+Run:  python examples/guided_tiling.py
+"""
+
+from repro.experiments.costguide import choose_tile, choose_variant, guided_speedup
+from repro.experiments.runner import measure_variant
+from repro.experiments.sweep import default_config
+from repro.utils.tables import render_table
+
+
+def main() -> None:
+    config = default_config(quick=True)
+    kernel, target = "cholesky", 120
+
+    choice = choose_tile(kernel, target, config)
+    rows = [
+        [tile, f"{cycles:,.0f}", "<- chosen" if tile == choice.chosen_tile else ""]
+        for tile, cycles in sorted(choice.probe_cycles.items())
+    ]
+    print(
+        render_table(
+            ["tile", f"cycles @ probe N={choice.probe_n}", ""],
+            rows,
+            title=f"Guided tile search for {kernel}, target N={target}",
+        )
+    )
+
+    guided, best = guided_speedup(kernel, target, config)
+    print(
+        f"\nguided tile {choice.chosen_tile}: speedup {guided:.2f}x at "
+        f"N={target} (exhaustive best over candidates: {best:.2f}x)"
+    )
+
+    print("\nvariant decisions (model vs measured):")
+    for n in (24, 120):
+        decision = choose_variant(kernel, n, config)
+        seq = measure_variant(kernel, "seq", n, config).report.total_cycles
+        tiled = measure_variant(kernel, "tiled", n, config).report.total_cycles
+        truth = "tiled" if tiled < seq else "seq"
+        print(
+            f"  N={n:4d}: model says {decision:5s}   measured winner {truth:5s}"
+            f"   (seq {seq:,.0f} vs tiled {tiled:,.0f} cycles)"
+        )
+
+
+if __name__ == "__main__":
+    main()

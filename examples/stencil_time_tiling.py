@@ -1,0 +1,92 @@
+"""Stencil time tiling: why Jacobi needs skewing, measured.
+
+The paper moves Jacobi's time loop innermost (after skewing the space
+loops by t) "so the temporal reuse carried by the loop can be exploited",
+then tiles all three loops. This example quantifies each stage on the
+simulated machine:
+
+  A. sequential (two sweeps per step)
+  B. fused + fixed (one sweep, copy array H)     <- FixDeps output
+  C. B with space-only tiling (no skew)
+  D. B skewed, time innermost, 3-D tiled          <- the paper's variant
+
+Run:  python examples/stencil_time_tiling.py
+"""
+
+import numpy as np
+
+from repro.exec.compiled import CompiledProgram
+from repro.ir.stmt import Loop
+from repro.kernels import jacobi
+from repro.machine import measure, octane2_scaled
+from repro.trans.tiling import tile_program
+from repro.utils.tables import render_table
+
+
+def space_only_tiled(tile: int):
+    fixed = jacobi.fixed()
+    nest_index = next(
+        pos for pos, s in enumerate(fixed.body) if isinstance(s, Loop) and s.var == "t"
+    )
+    return tile_program(
+        fixed,
+        {"i": tile, "j": tile},
+        order=["t", "it", "jt", "i", "j"],
+        nest_index=nest_index,
+        name="jacobi_space_only",
+    )
+
+
+def main() -> None:
+    n, m, tile = 88, 12, 11
+    params = {"N": n, "M": m}
+    inputs = jacobi.make_inputs(params)
+    reference = jacobi.reference(params, inputs)
+    machine = octane2_scaled()
+
+    variants = {
+        "A sequential": jacobi.sequential(),
+        "B fused+fixed": jacobi.fixed(),
+        "C space-tiled": space_only_tiled(tile),
+        "D skew+time-tiled": jacobi.tiled(tile),
+    }
+
+    rows = []
+    baseline = None
+    for label, program in variants.items():
+        cp = CompiledProgram(program, trace=True)
+        run = cp.run(params, inputs)
+        assert np.allclose(run.arrays["A"], reference["A"]), label
+        rep = measure(run, program, params, machine)
+        if baseline is None:
+            baseline = rep.total_cycles
+        rows.append(
+            [
+                label,
+                rep.accesses,
+                rep.l1_misses,
+                rep.l2_misses,
+                rep.graduated_instructions,
+                baseline / rep.total_cycles,
+            ]
+        )
+
+    print(
+        render_table(
+            ["variant", "mem ops", "L1 miss", "L2 miss", "instructions", "speedup"],
+            rows,
+            title=f"Jacobi N={n}, M={m}, tile={tile} on the scaled Octane2",
+            float_fmt=".2f",
+        )
+    )
+    print(
+        "\nReading the table:"
+        "\n  B: fusion halves the sweeps (fewer memory ops, fewer instructions);"
+        "\n  C: space tiling alone cannot reuse across time steps;"
+        "\n  D: with skewing + time innermost, each tile is swept through"
+        "\n     several time steps while resident — the L2 misses collapse."
+    )
+
+
+if __name__ == "__main__":
+    main()

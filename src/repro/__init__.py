@@ -1,0 +1,45 @@
+"""repro — reproduction of Xue, Huang & Guo, "Enabling Loop Fusion and
+Tiling for Cache Performance by Fixing Fusion-Preventing Data Dependences"
+(ICPP 2005).
+
+Layer map (bottom-up):
+
+- :mod:`repro.poly` — exact integer polyhedra (FM elimination, integer
+  feasibility, parametric lexmin/max): the isl/Omega/PIP substitute;
+- :mod:`repro.ir` — FORTRAN-like loop-nest IR with a builder eDSL,
+  pretty-printer and affine bridges;
+- :mod:`repro.frontend` — a mini-Fortran text frontend for the IR;
+- :mod:`repro.deps` — fusion-preventing dependence sets (paper Eq. 5–6);
+- :mod:`repro.trans` — fusion, FixDeps (ElimWW_WR + ElimRW), tiling,
+  skewing, peeling, scalar expansion, cleanups;
+- :mod:`repro.exec` — interpreter and trace-emitting compiled executor;
+- :mod:`repro.machine` — the simulated SGI Octane2 (caches, branch
+  predictor, register window, perfex-style cost model);
+- :mod:`repro.tilesize` — LRW and PDAT tile-size selection;
+- :mod:`repro.kernels` — LU/QR/Cholesky/Jacobi in all paper variants;
+- :mod:`repro.experiments` — the figure/table regeneration harness.
+
+Quickstart::
+
+    from repro.kernels import get_kernel
+    from repro.exec import run_compiled
+
+    jacobi = get_kernel("jacobi")
+    program = jacobi.tiled(8)
+    result = run_compiled(program, {"N": 64, "M": 10},
+                          jacobi.make_inputs({"N": 64, "M": 10}))
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import ReproError
+
+
+def optimize_program(*args, **kwargs):
+    """Top-level driver; see :func:`repro.pipeline.optimize_program`."""
+    from repro.pipeline import optimize_program as _impl
+
+    return _impl(*args, **kwargs)
+
+
+__all__ = ["ReproError", "optimize_program", "__version__"]

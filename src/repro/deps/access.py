@@ -1,0 +1,205 @@
+"""Extracting array/scalar references from fused statement groups.
+
+Each :class:`Reference` is one textual read or write occurrence together
+with:
+
+- affine subscript functions over (context + fused) variables — scalars are
+  rank-0 with an empty subscript tuple;
+- the iteration sub-domain where the access may execute (group domain
+  refined by enclosing *affine* guards; *opaque* guards — LU's data-
+  dependent pivot test — widen to may-execute and mark the reference
+  inexact);
+- for subscripts that mention a scalar with a declared value range (LU's
+  ``m``), a fresh *fuzzy* dimension bounded by that range replaces the
+  scalar, over-approximating the touched elements.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import DependenceError, NotAffineError
+from repro.ir.affine import cond_to_constraints, expr_to_linexpr
+from repro.ir.expr import ArrayRef, Expr, Select, VarRef, walk_expr
+from repro.ir.stmt import Assign, If, Loop, Stmt
+from repro.poly.constraint import Constraint, ge0
+from repro.poly.linexpr import LinExpr
+from repro.poly.polyhedron import Polyhedron
+from repro.trans.model import FusedNest, StmtGroup
+
+
+@dataclass(frozen=True)
+class ValueRange:
+    """Declared bounds for a scalar used in subscripts (affine IR exprs over
+    context variables and parameters)."""
+
+    lower: Expr
+    upper: Expr
+
+
+@dataclass(frozen=True)
+class Reference:
+    """One read or write occurrence inside a fused group."""
+
+    group: int
+    name: str
+    is_write: bool
+    #: Affine subscripts over ctx+fused (+fuzzy) variables; () for scalars.
+    subscripts: tuple[LinExpr, ...]
+    #: Iteration sub-domain (dims: ctx + fused + fuzzy vars of this ref).
+    domain: Polyhedron
+    #: Fresh fuzzy dimension names introduced for this reference.
+    fuzzy: tuple[str, ...]
+    #: 1-based assignment number within the group (paper's alpha); for a
+    #: read, the number of the assignment containing it (0 in guards).
+    alpha: int
+    #: Position of the containing top-level statement in the group body.
+    stmt_pos: int
+    #: False when an opaque guard or fuzzy subscript widened this reference.
+    exact: bool
+
+    def subscripts_renamed(self, mapping: Mapping[str, str]) -> tuple[LinExpr, ...]:
+        """Subscripts with variables renamed."""
+        return tuple(s.rename(mapping) for s in self.subscripts)
+
+
+class _Extractor:
+    def __init__(
+        self,
+        nest: FusedNest,
+        group: StmtGroup,
+        value_ranges: Mapping[str, ValueRange],
+    ):
+        self.nest = nest
+        self.group = group
+        self.value_ranges = value_ranges
+        self.scalars = {s.name for s in nest.base.scalars}
+        self.dims = set(nest.context_vars) | set(nest.fused_vars)
+        self.params = set(nest.base.params)
+        self.refs: list[Reference] = []
+        self.alpha = 0
+        self._fuzz_counter = itertools.count(1)
+
+    # -- subscripts -----------------------------------------------------------
+    def _subscript(
+        self, expr: Expr, fuzzy: list[str], extra: list[Constraint]
+    ) -> LinExpr:
+        """Affine subscript; scalars with value ranges become fuzzy dims."""
+        lin = expr_to_linexpr(expr)  # may raise NotAffineError
+        rename: dict[str, str] = {}
+        for var in lin.variables():
+            if var in self.dims or var in self.params:
+                continue
+            vr = self.value_ranges.get(var)
+            if vr is None:
+                raise DependenceError(
+                    f"group {self.group.index}: subscript {expr} uses scalar "
+                    f"{var!r} without a declared value range"
+                )
+            fresh = f"_fz{next(self._fuzz_counter)}"
+            rename[var] = fresh
+            fuzzy.append(fresh)
+            fv = LinExpr.var(fresh)
+            extra.append(ge0(fv - expr_to_linexpr(vr.lower)))
+            extra.append(ge0(expr_to_linexpr(vr.upper) - fv))
+        return lin.rename(rename) if rename else lin
+
+    def _make_ref(
+        self,
+        node: ArrayRef | VarRef,
+        is_write: bool,
+        guards: list[Constraint],
+        opaque_count: int,
+        stmt_pos: int,
+    ) -> None:
+        fuzzy: list[str] = []
+        extra: list[Constraint] = []
+        if isinstance(node, ArrayRef):
+            name = node.name
+            subs = tuple(self._subscript(e, fuzzy, extra) for e in node.indices)
+        else:
+            name = node.name
+            subs = ()
+        domain = Polyhedron(
+            self.group.domain.variables + tuple(fuzzy),
+            list(self.group.domain.constraints) + guards + extra,
+        )
+        self.refs.append(
+            Reference(
+                group=self.group.index,
+                name=name,
+                is_write=is_write,
+                subscripts=subs,
+                domain=domain,
+                fuzzy=tuple(fuzzy),
+                alpha=self.alpha,
+                stmt_pos=stmt_pos,
+                exact=(opaque_count == 0 and not fuzzy),
+            )
+        )
+
+    # -- reads inside an expression -------------------------------------------
+    def _reads_in(
+        self, expr: Expr, guards: list[Constraint], opaque: int, stmt_pos: int
+    ) -> None:
+        for node in walk_expr(expr):
+            if isinstance(node, ArrayRef):
+                self._make_ref(node, False, guards, opaque, stmt_pos)
+            elif isinstance(node, VarRef) and node.name in self.scalars:
+                self._make_ref(node, False, guards, opaque, stmt_pos)
+            if isinstance(node, Select):
+                # Conservatively treat both arms as may-read (walk_expr
+                # already descends); nothing extra needed.
+                pass
+
+    # -- statements ------------------------------------------------------------
+    def walk(self, stmts: tuple[Stmt, ...]) -> None:
+        for pos, stmt in enumerate(stmts):
+            self._stmt(stmt, [], 0, pos)
+
+    def _stmt(
+        self, stmt: Stmt, guards: list[Constraint], opaque: int, stmt_pos: int
+    ) -> None:
+        if isinstance(stmt, Assign):
+            self.alpha += 1
+            self._reads_in(stmt.value, guards, opaque, stmt_pos)
+            target = stmt.target
+            if isinstance(target, ArrayRef):
+                for sub in target.indices:
+                    self._reads_in(sub, guards, opaque, stmt_pos)
+                self._make_ref(target, True, guards, opaque, stmt_pos)
+            elif target.name in self.scalars:
+                self._make_ref(target, True, guards, opaque, stmt_pos)
+        elif isinstance(stmt, If):
+            self._reads_in(stmt.cond, guards, opaque, stmt_pos)
+            try:
+                cs = cond_to_constraints(stmt.cond)
+                for s in stmt.then:
+                    self._stmt(s, guards + cs, opaque, stmt_pos)
+                for s in stmt.orelse:
+                    self._stmt(s, guards, opaque + 1, stmt_pos)
+            except NotAffineError:
+                for s in stmt.then:
+                    self._stmt(s, guards, opaque + 1, stmt_pos)
+                for s in stmt.orelse:
+                    self._stmt(s, guards, opaque + 1, stmt_pos)
+        elif isinstance(stmt, Loop):
+            raise DependenceError(
+                f"group {self.group.index}: nested loop over {stmt.var} in a "
+                "fused group body is not supported by the dependence analysis"
+            )
+        else:
+            raise DependenceError(f"unsupported statement {stmt!r}")
+
+
+def extract_references(
+    nest: FusedNest,
+    group: StmtGroup,
+    value_ranges: Mapping[str, ValueRange] | None = None,
+) -> list[Reference]:
+    """All read/write references of *group*, in textual order."""
+    ex = _Extractor(nest, group, value_ranges or {})
+    ex.walk(group.body)
+    return ex.refs

@@ -1,0 +1,408 @@
+"""IR -> Python compilation.
+
+The hot path of every experiment is executing a kernel while recording its
+memory-access and branch traces. A tree-walking interpreter pays dispatch
+overhead on every node; instead we compile the IR once into a Python
+function (closures over flat Python lists for array storage, encoded
+``list.append`` calls for trace events) and call it per run.
+
+Cost accounting model (documented in DESIGN.md):
+
+- array element load/store: 1 load/store event + ``rank`` integer address
+  ops (+ the arithmetic inside the subscripts, counted as intops);
+- scalar variables live in registers: no memory events;
+- arithmetic outside subscripts: 1 flop per operator/intrinsic;
+- every ``if`` evaluation: 1 branch event (site-tagged, taken bit);
+- every loop iteration: 1 loop_iter + 2 intops (increment, bound check).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.exec.events import ADDR_BITS, Counters, RunResult, TraceBuffers, evaluate_extents
+from repro.ir.expr import (
+    ArrayRef,
+    BinOp,
+    Call,
+    Cmp,
+    Const,
+    Expr,
+    LogicalAnd,
+    LogicalNot,
+    LogicalOr,
+    Select,
+    UnOp,
+    VarRef,
+)
+from repro.ir.program import Program
+from repro.ir.stmt import Assign, If, Loop, Stmt
+
+_CMP_PY = {"==": "==", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+
+def _py(name: str) -> str:
+    """IR identifier as a safe Python identifier (keywords get a suffix)."""
+    import keyword
+
+    return name + "_kw" if keyword.iskeyword(name) else name
+
+
+class _Costs:
+    """Static per-block operation counts accumulated during codegen."""
+
+    __slots__ = ("loads", "stores", "flops", "intops", "branches", "loop_iters")
+
+    def __init__(self) -> None:
+        self.loads = self.stores = self.flops = 0
+        self.intops = self.branches = self.loop_iters = 0
+
+    def emit(self, lines: list[str], indent: str) -> None:
+        for name in ("loads", "stores", "flops", "intops", "branches", "loop_iters"):
+            n = getattr(self, name)
+            if n:
+                lines.append(f"{indent}_c_{name} += {n}")
+
+
+class _Codegen:
+    """Generates the body of the compiled kernel function."""
+
+    def __init__(self, program: Program, trace: bool):
+        self.program = program
+        self.trace = trace
+        self.array_ids = {a.name: i for i, a in enumerate(program.arrays)}
+        self.ranks = {a.name: a.rank for a in program.arrays}
+        self.branch_sites: dict[int, str] = {}
+        self._tmp = 0
+        self.lines: list[str] = []
+
+    # -- helpers ----------------------------------------------------------
+    def fresh(self, base: str) -> str:
+        self._tmp += 1
+        return f"_{base}{self._tmp}"
+
+    def _site(self, cond: Expr) -> int:
+        site = len(self.branch_sites)
+        self.branch_sites[site] = str(cond)
+        return site
+
+    def _linear_index(
+        self, ref: ArrayRef, lines: list[str], indent: str, costs: _Costs
+    ) -> str:
+        """Emit computation of the flat (column-major) element index."""
+        parts = []
+        for d, sub in enumerate(ref.indices):
+            code = self._expr(sub, lines, indent, costs, in_subscript=True)
+            stride = f"_s_{ref.name}_{d}"
+            parts.append(f"(({code})-1)" if d == 0 else f"{stride}*(({code})-1)")
+        costs.intops += len(ref.indices)
+        tmp = self.fresh("l")
+        lines.append(f"{indent}{tmp} = {' + '.join(parts)}")
+        return tmp
+
+    # -- expressions ----------------------------------------------------------
+    def _expr(
+        self,
+        expr: Expr,
+        lines: list[str],
+        indent: str,
+        costs: _Costs,
+        *,
+        in_subscript: bool = False,
+    ) -> str:
+        if isinstance(expr, Const):
+            return repr(expr.value)
+        if isinstance(expr, VarRef):
+            return _py(expr.name)
+        if isinstance(expr, ArrayRef):
+            lin = self._linear_index(expr, lines, indent, costs)
+            costs.loads += 1
+            if self.trace:
+                aid = self.array_ids[expr.name]
+                code = (aid * 2) << ADDR_BITS
+                lines.append(f"{indent}_ma({code} + {lin})")
+            return f"{_py(expr.name)}[{lin}]"
+        if isinstance(expr, BinOp):
+            lhs = self._expr(expr.lhs, lines, indent, costs, in_subscript=in_subscript)
+            rhs = self._expr(expr.rhs, lines, indent, costs, in_subscript=in_subscript)
+            if in_subscript:
+                costs.intops += 1
+            else:
+                costs.flops += 1
+            return f"({lhs} {expr.op} {rhs})"
+        if isinstance(expr, UnOp):
+            inner = self._expr(expr.operand, lines, indent, costs, in_subscript=in_subscript)
+            if in_subscript:
+                costs.intops += 1
+            else:
+                costs.flops += 1
+            return f"(-{inner})"
+        if isinstance(expr, Call):
+            args = [
+                self._expr(a, lines, indent, costs, in_subscript=in_subscript)
+                for a in expr.args
+            ]
+            costs.flops += 1
+            if expr.func == "sqrt":
+                return f"_sqrt({args[0]})"
+            if expr.func == "abs":
+                return f"abs({args[0]})"
+            return f"{expr.func}({', '.join(args)})"
+        if isinstance(expr, Cmp):
+            lhs = self._expr(expr.lhs, lines, indent, costs, in_subscript=in_subscript)
+            rhs = self._expr(expr.rhs, lines, indent, costs, in_subscript=in_subscript)
+            costs.intops += 1
+            return f"({lhs} {_CMP_PY[expr.op]} {rhs})"
+        if isinstance(expr, LogicalAnd):
+            parts = [
+                self._expr(a, lines, indent, costs, in_subscript=in_subscript)
+                for a in expr.args
+            ]
+            return "(" + " and ".join(parts) + ")"
+        if isinstance(expr, LogicalOr):
+            parts = [
+                self._expr(a, lines, indent, costs, in_subscript=in_subscript)
+                for a in expr.args
+            ]
+            return "(" + " or ".join(parts) + ")"
+        if isinstance(expr, LogicalNot):
+            inner = self._expr(expr.arg, lines, indent, costs, in_subscript=in_subscript)
+            return f"(not {inner})"
+        if isinstance(expr, Select):
+            return self._select(expr, lines, indent, costs)
+        raise ExecutionError(f"cannot compile expression {expr!r}")
+
+    def _select(self, expr: Select, lines: list[str], indent: str, costs: _Costs) -> str:
+        """Expression conditional with per-arm dynamic cost accounting."""
+        cond = self._expr(expr.cond, lines, indent, costs)
+        tmp_c = self.fresh("sc")
+        tmp_v = self.fresh("sv")
+        lines.append(f"{indent}{tmp_c} = {cond}")
+        costs.branches += 1
+        if self.trace:
+            site = self._site(expr.cond)
+            lines.append(f"{indent}_ba({site * 2} + (1 if {tmp_c} else 0))")
+        lines.append(f"{indent}if {tmp_c}:")
+        arm_costs = _Costs()
+        arm_lines: list[str] = []
+        val = self._expr(expr.if_true, arm_lines, indent + "    ", arm_costs)
+        lines.extend(arm_lines)
+        arm_costs.emit(lines, indent + "    ")
+        lines.append(f"{indent}    {tmp_v} = {val}")
+        lines.append(f"{indent}else:")
+        arm_costs = _Costs()
+        arm_lines = []
+        val = self._expr(expr.if_false, arm_lines, indent + "    ", arm_costs)
+        lines.extend(arm_lines)
+        arm_costs.emit(lines, indent + "    ")
+        lines.append(f"{indent}    {tmp_v} = {val}")
+        return tmp_v
+
+    # -- statements --------------------------------------------------------
+    def _block(self, stmts: tuple[Stmt, ...], indent: str, extra: _Costs | None = None) -> None:
+        """Emit a statement block, merging static costs of straight-line runs."""
+        costs = extra if extra is not None else _Costs()
+        pending: list[str] = []
+
+        def flush() -> None:
+            nonlocal costs, pending
+            self.lines.extend(pending)
+            costs.emit(self.lines, indent)
+            pending = []
+            costs = _Costs()
+
+        for stmt in stmts:
+            if isinstance(stmt, Assign):
+                self._assign(stmt, pending, indent, costs)
+            elif isinstance(stmt, If):
+                self._if(stmt, pending, indent, costs)
+                flush()
+            elif isinstance(stmt, Loop):
+                flush()
+                self._loop(stmt, indent)
+            else:
+                raise ExecutionError(f"cannot compile statement {stmt!r}")
+        flush()
+
+    def _assign(self, stmt: Assign, lines: list[str], indent: str, costs: _Costs) -> None:
+        value = self._expr(stmt.value, lines, indent, costs)
+        target = stmt.target
+        if isinstance(target, VarRef):
+            lines.append(f"{indent}{_py(target.name)} = {value}")
+            return
+        tmp = self.fresh("v")
+        lines.append(f"{indent}{tmp} = {value}")
+        lin = self._linear_index(target, lines, indent, costs)
+        costs.stores += 1
+        if self.trace:
+            aid = self.array_ids[target.name]
+            code = (aid * 2 + 1) << ADDR_BITS
+            lines.append(f"{indent}_ma({code} + {lin})")
+        lines.append(f"{indent}{_py(target.name)}[{lin}] = {tmp}")
+
+    def _if(self, stmt: If, lines: list[str], indent: str, costs: _Costs) -> None:
+        cond = self._expr(stmt.cond, lines, indent, costs)
+        costs.branches += 1
+        tmp = self.fresh("c")
+        lines.append(f"{indent}{tmp} = {cond}")
+        if self.trace:
+            site = self._site(stmt.cond)
+            lines.append(f"{indent}_ba({site * 2} + (1 if {tmp} else 0))")
+        lines.append(f"{indent}if {tmp}:")
+        self.lines.extend(lines)
+        lines.clear()
+        if stmt.then:
+            mark = len(self.lines)
+            self._block(stmt.then, indent + "    ")
+            if len(self.lines) == mark:
+                self.lines.append(f"{indent}    pass")
+        else:
+            self.lines.append(f"{indent}    pass")
+        if stmt.orelse:
+            self.lines.append(f"{indent}else:")
+            self._block(stmt.orelse, indent + "    ")
+
+    def _loop(self, stmt: Loop, indent: str) -> None:
+        costs = _Costs()
+        head: list[str] = []
+        lo = self._expr(stmt.lower, head, indent, costs, in_subscript=True)
+        hi = self._expr(stmt.upper, head, indent, costs, in_subscript=True)
+        step = self._expr(stmt.step, head, indent, costs, in_subscript=True)
+        self.lines.extend(head)
+        costs.emit(self.lines, indent)
+        if isinstance(stmt.step, Const) and stmt.step.value == 1:
+            self.lines.append(f"{indent}for {_py(stmt.var)} in range({lo}, ({hi}) + 1):")
+        else:
+            self.lines.append(
+                f"{indent}for {_py(stmt.var)} in range({lo}, ({hi}) + 1, {step}):"
+            )
+        body_costs = _Costs()
+        body_costs.loop_iters += 1
+        body_costs.intops += 2
+        self._block(stmt.body, indent + "    ", extra=body_costs)
+
+    # -- whole function -------------------------------------------------------
+    def generate(self) -> str:
+        p = self.program
+        ind = "    "
+        out: list[str] = ["def _kernel(_params, _arrays, _exts, _mem, _bra):"]
+        out.append(f"{ind}_sqrt = _math.sqrt")
+        for name in p.params:
+            out.append(f"{ind}{_py(name)} = _params[{name!r}]")
+        for a in p.arrays:
+            out.append(f"{ind}{_py(a.name)} = _arrays[{a.name!r}]")
+            for d in range(a.rank - 1):
+                # stride of dimension d+1 = product of extents 0..d
+                prod = "*".join(f"_exts[{a.name!r}][{e}]" for e in range(d + 1))
+                out.append(f"{ind}_s_{a.name}_{d + 1} = {prod}")
+        for s in p.scalars:
+            init = "0" if s.dtype == "i8" else "0.0"
+            out.append(f"{ind}{_py(s.name)} = {init}")
+        if self.trace:
+            out.append(f"{ind}_ma = _mem.append")
+            out.append(f"{ind}_ba = _bra.append")
+        out.append(
+            f"{ind}_c_loads = _c_stores = _c_flops = _c_intops = "
+            f"_c_branches = _c_loop_iters = 0"
+        )
+        self.lines = []
+        self._block(p.body, ind)
+        out.extend(self.lines or [f"{ind}pass"])
+        scalar_dict = ", ".join(f"{s.name!r}: {_py(s.name)}" for s in p.scalars)
+        out.append(
+            f"{ind}return (_c_loads, _c_stores, _c_flops, _c_intops, "
+            f"_c_branches, _c_loop_iters, {{{scalar_dict}}})"
+        )
+        return "\n".join(out)
+
+
+class CompiledProgram:
+    """A program compiled to a Python callable.
+
+    Compile once, run many times with different parameters/inputs::
+
+        cp = CompiledProgram(program, trace=True)
+        result = cp.run({"N": 64}, {"A": a0})
+    """
+
+    def __init__(self, program: Program, *, trace: bool = False):
+        self.program = program
+        self.trace = trace
+        gen = _Codegen(program, trace)
+        self.source = gen.generate()
+        self.array_ids = gen.array_ids
+        self.branch_sites = gen.branch_sites
+        namespace: dict = {"_math": math}
+        exec(compile(self.source, f"<repro:{program.name}>", "exec"), namespace)
+        self._fn = namespace["_kernel"]
+
+    def run(
+        self,
+        params: Mapping[str, int],
+        inputs: Mapping[str, np.ndarray] | None = None,
+    ) -> RunResult:
+        """Execute under *params*, seeding arrays from *inputs* (column-major
+        flattening); missing arrays start at zero."""
+        inputs = inputs or {}
+        p = self.program
+        missing = set(p.params) - set(params)
+        if missing:
+            raise ExecutionError(f"missing parameters: {sorted(missing)}")
+        exts: dict[str, tuple[int, ...]] = {}
+        storage: dict[str, list] = {}
+        for a in p.arrays:
+            shape = evaluate_extents(a.extents, params)
+            exts[a.name] = shape
+            size = int(np.prod(shape))
+            given = inputs.get(a.name)
+            if given is not None:
+                arr = np.asarray(given, dtype=np.float64)
+                if arr.shape != shape:
+                    raise ExecutionError(
+                        f"input {a.name} has shape {arr.shape}, expected {shape}"
+                    )
+                storage[a.name] = arr.flatten(order="F").tolist()
+            else:
+                storage[a.name] = [0.0] * size
+        mem: list[int] = []
+        bra: list[int] = []
+        try:
+            (loads, stores, flops, intops, branches, iters, scalars) = self._fn(
+                dict(params), storage, exts, mem, bra
+            )
+        except (IndexError, ZeroDivisionError, KeyError) as exc:
+            raise ExecutionError(f"runtime failure in {p.name}: {exc}") from exc
+        arrays = {
+            name: np.asarray(vals, dtype=np.float64).reshape(exts[name], order="F")
+            for name, vals in storage.items()
+        }
+        counters = Counters(loads, stores, flops, intops, branches, iters)
+        trace = None
+        if self.trace:
+            trace = TraceBuffers(
+                np.asarray(mem, dtype=np.int64),
+                np.asarray(bra, dtype=np.int64),
+            )
+        return RunResult(
+            arrays=arrays,
+            scalars=scalars,
+            counters=counters,
+            trace=trace,
+            array_ids=dict(self.array_ids),
+            branch_sites=dict(self.branch_sites),
+        )
+
+
+def run_compiled(
+    program: Program,
+    params: Mapping[str, int],
+    inputs: Mapping[str, np.ndarray] | None = None,
+    *,
+    trace: bool = False,
+) -> RunResult:
+    """One-shot compile + run."""
+    return CompiledProgram(program, trace=trace).run(params, inputs)

@@ -1,0 +1,123 @@
+"""Execution results: dynamic counters and event traces.
+
+The machine model is trace-driven: it replays the memory-access and branch
+traces produced by a run. Traces use compact integer encodings so the hot
+path is a single ``list.append`` per event:
+
+- memory event: ``((array_id * 2 + is_write) << ADDR_BITS) | linear_index``
+- branch event: ``site_id * 2 + taken``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+#: Bits reserved for the linear element index within one array.
+ADDR_BITS = 40
+#: Mask extracting the linear index from a memory event code.
+ADDR_MASK = (1 << ADDR_BITS) - 1
+
+
+@dataclass
+class Counters:
+    """Dynamic operation counts of one run.
+
+    These feed the perfex-style cost model: *graduated instructions* are a
+    weighted combination (see :mod:`repro.machine.costmodel`), branches feed
+    the predictor, loads/stores cross-check the memory trace length.
+    """
+
+    loads: int = 0
+    stores: int = 0
+    flops: int = 0
+    intops: int = 0
+    branches: int = 0
+    loop_iters: int = 0
+
+    def total_memory_ops(self) -> int:
+        """Loads plus stores."""
+        return self.loads + self.stores
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view (stable key order)."""
+        return {
+            "loads": self.loads,
+            "stores": self.stores,
+            "flops": self.flops,
+            "intops": self.intops,
+            "branches": self.branches,
+            "loop_iters": self.loop_iters,
+        }
+
+    def __add__(self, other: "Counters") -> "Counters":
+        return Counters(
+            self.loads + other.loads,
+            self.stores + other.stores,
+            self.flops + other.flops,
+            self.intops + other.intops,
+            self.branches + other.branches,
+            self.loop_iters + other.loop_iters,
+        )
+
+
+@dataclass
+class TraceBuffers:
+    """Raw event traces of one run (see module docstring for encodings)."""
+
+    #: Encoded memory events in program order.
+    memory: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    #: Encoded branch events in program order.
+    branches: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+
+    def memory_events(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Decode the memory trace into (array_id, linear_index, is_write)."""
+        codes = self.memory
+        head = codes >> ADDR_BITS
+        return head >> 1, codes & ADDR_MASK, head & 1
+
+    def branch_events(self) -> tuple[np.ndarray, np.ndarray]:
+        """Decode the branch trace into (site_id, taken)."""
+        return self.branches >> 1, self.branches & 1
+
+
+@dataclass
+class RunResult:
+    """Everything a run produced."""
+
+    #: Final array values, shaped per declaration (column-major semantics).
+    arrays: dict[str, np.ndarray]
+    #: Final scalar values.
+    scalars: dict[str, float]
+    counters: Counters
+    #: Present only for traced runs.
+    trace: TraceBuffers | None = None
+    #: array name -> integer id used in the memory trace.
+    array_ids: dict[str, int] = field(default_factory=dict)
+    #: branch site id -> human-readable description (source condition).
+    branch_sites: dict[int, str] = field(default_factory=dict)
+
+    def output_arrays(self, outputs: tuple[str, ...]) -> dict[str, np.ndarray]:
+        """Subset of arrays/scalars named as program outputs."""
+        result: dict[str, np.ndarray] = {}
+        for name in outputs:
+            if name in self.arrays:
+                result[name] = self.arrays[name]
+        return result
+
+
+def evaluate_extents(
+    extent_exprs, params: Mapping[str, int]
+) -> tuple[int, ...]:
+    """Evaluate declared array extents under concrete parameters."""
+    from repro.ir.affine import expr_to_linexpr
+
+    out = []
+    for e in extent_exprs:
+        value = expr_to_linexpr(e).evaluate(params)
+        if value.denominator != 1 or value < 1:
+            raise ValueError(f"array extent {e} evaluates to {value}")
+        out.append(int(value))
+    return tuple(out)

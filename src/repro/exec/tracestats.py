@@ -1,0 +1,64 @@
+"""Per-array statistics of a traced run.
+
+Break the global perfex numbers down by array: which array's loads
+dominate, how read/write-balanced each array is, and how many distinct
+elements were touched (the footprint). Used by reports and examples to
+attribute the machine-model observations to specific data structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.exec.events import RunResult
+
+
+@dataclass(frozen=True)
+class ArrayStats:
+    """Access statistics of one array in one run."""
+
+    name: str
+    loads: int
+    stores: int
+    distinct_elements: int
+
+    @property
+    def accesses(self) -> int:
+        """Loads plus stores."""
+        return self.loads + self.stores
+
+    @property
+    def reuse_factor(self) -> float:
+        """Accesses per distinct element (1.0 = streaming, no reuse)."""
+        return self.accesses / self.distinct_elements if self.distinct_elements else 0.0
+
+
+def trace_statistics(result: RunResult) -> dict[str, ArrayStats]:
+    """Per-array stats of a traced run (requires ``trace=True``)."""
+    if result.trace is None:
+        raise ExecutionError("trace_statistics needs a traced run")
+    aid, lin, rw = result.trace.memory_events()
+    out: dict[str, ArrayStats] = {}
+    for name, array_id in result.array_ids.items():
+        mask = aid == array_id
+        if not mask.any():
+            out[name] = ArrayStats(name, 0, 0, 0)
+            continue
+        writes = rw[mask]
+        elements = lin[mask]
+        out[name] = ArrayStats(
+            name=name,
+            loads=int((writes == 0).sum()),
+            stores=int((writes == 1).sum()),
+            distinct_elements=int(len(np.unique(elements))),
+        )
+    return out
+
+
+def footprint_bytes(result: RunResult, element_bytes: int = 8) -> int:
+    """Total distinct data touched, in bytes."""
+    stats = trace_statistics(result)
+    return sum(s.distinct_elements for s in stats.values()) * element_bytes

@@ -1,0 +1,36 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+- :mod:`repro.experiments.runner` — run one kernel variant under the
+  machine model and collect its perfex-style report;
+- :mod:`repro.experiments.sweep` — problem-size sweeps and scaling rules
+  (paper sizes vs. scaled-machine sizes);
+- :mod:`repro.experiments.figure5` … ``figure678`` — the paper's figures;
+- :mod:`repro.experiments.table1` — the capability-comparison table;
+- :mod:`repro.experiments.jacobi_stats` — the in-text Jacobi load /
+  instruction reductions;
+- :mod:`repro.experiments.paperpoint` — one measurement on the *true*
+  Octane2 geometry at a paper problem size (the scaling anchor);
+- :mod:`repro.experiments.crossover` — locating the break-even sizes;
+- :mod:`repro.experiments.costguide` — the Sec.-6 future work: using the
+  machine model to guide tile-size and tile-or-not decisions;
+- :mod:`repro.experiments.ablations` — design-choice studies beyond the
+  paper (tile-size policy, skewing, copy widening, associativity,
+  guard-cleanup contribution);
+- :mod:`repro.experiments.report` — markdown + CSV artefact writer.
+
+Run from the command line::
+
+    python -m repro.experiments figure5
+    python -m repro.experiments all --quick
+"""
+
+from repro.experiments.runner import VariantMeasurement, measure_variant, run_pair
+from repro.experiments.sweep import SweepConfig, default_config
+
+__all__ = [
+    "VariantMeasurement",
+    "measure_variant",
+    "run_pair",
+    "SweepConfig",
+    "default_config",
+]

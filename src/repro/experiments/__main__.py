@@ -1,0 +1,80 @@
+"""Command-line entry point: ``python -m repro.experiments <target>``.
+
+Targets: figure5, figure6, figure7, figure8, table1, jacobi, ablations,
+all. Flags: ``--quick`` (4-point sweep), ``--full`` (7-point scaled sweep).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import figure5, figure678, jacobi_stats, table1
+from repro.experiments.sweep import default_config
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.experiments")
+    parser.add_argument(
+        "target",
+        choices=[
+            "figure5", "figure6", "figure7", "figure8",
+            "table1", "jacobi", "ablations", "paperpoint", "crossover", "all",
+        ],
+    )
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--quick", action="store_true", help="4-point sweep")
+    mode.add_argument("--full", action="store_true", help="full scaled sweep")
+    parser.add_argument(
+        "--output", metavar="DIR", help="also write markdown + CSV artefacts"
+    )
+    args = parser.parse_args(argv)
+
+    quick = True if args.quick else (False if args.full else None)
+    config = default_config(quick=quick)
+
+    if args.output:
+        from repro.experiments.report import write_all
+
+        written = write_all(args.output, config)
+        for name, path in written.items():
+            print(f"wrote {name}: {path}")
+
+    def fig678(which: str) -> str:
+        rows = figure678.generate(config)
+        renderer = getattr(figure678, f"render_{which}")
+        return renderer(rows)
+
+    outputs: list[str] = []
+    if args.target in ("figure5", "all"):
+        outputs.append(figure5.main(config))
+    if args.target == "figure6":
+        outputs.append(fig678("figure6"))
+    if args.target == "figure7":
+        outputs.append(fig678("figure7"))
+    if args.target == "figure8":
+        outputs.append(fig678("figure8"))
+    if args.target == "all":
+        outputs.append(figure678.main(config))
+    if args.target in ("table1", "all"):
+        outputs.append(table1.main(config))
+    if args.target in ("jacobi", "all"):
+        outputs.append(jacobi_stats.main(config))
+    if args.target in ("ablations", "all"):
+        from repro.experiments import ablations
+
+        outputs.append(ablations.main(config))
+    if args.target == "paperpoint":
+        from repro.experiments import paperpoint
+
+        outputs.append(paperpoint.main(config))
+    if args.target == "crossover":
+        from repro.experiments import crossover
+
+        outputs.append(crossover.main(config))
+    print("\n\n".join(outputs))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

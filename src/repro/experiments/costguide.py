@@ -1,0 +1,101 @@
+"""Model-guided transformation choice (the paper's stated future work).
+
+Section 6: "Another [future work] is to develop a cost model for guiding
+our and other transformations for locality enhancement in whole programs."
+The trace-driven machine model *is* a cost model; this module uses it as a
+guide:
+
+- :func:`choose_tile` picks a tile size by measuring candidate tiles at a
+  cheap *probe* size and predicting the ranking carries to the target size.
+  The probe must lie in the same cache regime as the target: below the L2
+  transition the ranking inverts (small tiles minimise loop overhead when
+  everything fits anyway), so the default probe is ~1.4x the L2-fill order
+  — past the transition yet far cheaper than the target;
+- :func:`choose_variant` decides *whether tiling pays at all* at a given
+  size (the crossover question) from the same probes.
+
+The benchmark suite checks the guide against exhaustive measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.runner import measure_variant
+from repro.experiments.sweep import SweepConfig
+from repro.tilesize.pdat import pdat_tile
+
+#: Default candidate tile edges (PDAT is injected as well).
+DEFAULT_CANDIDATES = (4, 8, 16, 24)
+
+
+@dataclass(frozen=True)
+class TileChoice:
+    """Outcome of a guided tile search."""
+
+    kernel: str
+    target_n: int
+    probe_n: int
+    chosen_tile: int
+    #: tile -> probe-size cycles
+    probe_cycles: dict[int, float]
+
+    def ranking(self) -> list[int]:
+        """Candidate tiles, best probe first."""
+        return sorted(self.probe_cycles, key=self.probe_cycles.__getitem__)
+
+
+def _cycles(kernel: str, variant: str, n: int, config: SweepConfig, tile=None) -> float:
+    return measure_variant(kernel, variant, n, config, tile=tile).report.total_cycles
+
+
+def choose_tile(
+    kernel: str,
+    target_n: int,
+    config: SweepConfig,
+    *,
+    candidates: tuple[int, ...] = DEFAULT_CANDIDATES,
+    probe_n: int | None = None,
+) -> TileChoice:
+    """Pick the tile with the fewest simulated cycles at the probe size."""
+    pdat = pdat_tile(config.machine.l1)
+    tiles = tuple(dict.fromkeys((*candidates, pdat)))
+    # Past the L2 transition (same regime as any interesting target), but
+    # never larger than the target itself.
+    regime = int(config.machine.l2_fill_order() * 1.4)
+    probe = probe_n or max(min(target_n, regime), 16)
+    probe_cycles = {
+        tile: _cycles(kernel, "tiled", probe, config, tile=tile) for tile in tiles
+    }
+    best = min(probe_cycles, key=probe_cycles.__getitem__)
+    return TileChoice(
+        kernel=kernel,
+        target_n=target_n,
+        probe_n=probe,
+        chosen_tile=best,
+        probe_cycles=probe_cycles,
+    )
+
+
+def choose_variant(
+    kernel: str, n: int, config: SweepConfig, *, tile: int | None = None
+) -> str:
+    """'tiled' when the model predicts a win at size *n*, else 'seq'."""
+    tile = tile if tile is not None else config.tile_for(n)
+    seq = _cycles(kernel, "seq", n, config)
+    tiled = _cycles(kernel, "tiled", n, config, tile=tile)
+    return "tiled" if tiled < seq else "seq"
+
+
+def guided_speedup(
+    kernel: str, target_n: int, config: SweepConfig
+) -> tuple[float, float]:
+    """(guided speedup, best-exhaustive speedup) at the target size."""
+    choice = choose_tile(kernel, target_n, config)
+    seq = _cycles(kernel, "seq", target_n, config)
+    guided = seq / _cycles(kernel, "tiled", target_n, config, tile=choice.chosen_tile)
+    best = max(
+        seq / _cycles(kernel, "tiled", target_n, config, tile=t)
+        for t in choice.probe_cycles
+    )
+    return guided, best

@@ -1,0 +1,82 @@
+"""Locating the break-even size: where does tiling start to win?
+
+The task of a reproduction is the *shape*: who wins, by how much, and
+**where the crossover falls**. The paper's curves cross 1.0 near its
+smallest sizes (LU dips to 0.98); on the scaled machine the cleaned-up
+tiled codes win everywhere, so we locate the more informative crossover of
+the *sunk* (guard-carrying) tiled codes instead — the point where the
+locality gain outgrows the code-sinking overhead, i.e. the paper's
+trade-off becoming profitable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.runner import measure_variant
+from repro.experiments.sweep import SweepConfig, default_config
+from repro.kernels.registry import KERNELS
+from repro.utils.tables import render_table
+
+
+@dataclass(frozen=True)
+class Crossover:
+    """Break-even information for one kernel."""
+
+    kernel: str
+    #: smallest probed N with sunk-tiled speedup >= 1 (None: never crossed)
+    break_even_n: int | None
+    #: speedups at the probe sizes
+    probes: tuple[tuple[int, float], ...]
+
+
+def find_crossover(
+    kernel: str,
+    config: SweepConfig,
+    *,
+    lo: int = 16,
+    hi: int = 120,
+    step: int = 8,
+) -> Crossover:
+    """Scan N in [lo, hi] for the sunk-tiled break-even point."""
+    probes: list[tuple[int, float]] = []
+    break_even: int | None = None
+    for n in range(lo, hi + 1, step):
+        seq = measure_variant(kernel, "seq", n, config).report
+        tiled = measure_variant(kernel, "tiled_sunk", n, config).report
+        speedup = seq.total_cycles / tiled.total_cycles
+        probes.append((n, speedup))
+        if break_even is None and speedup >= 1.0:
+            break_even = n
+    return Crossover(kernel=kernel, break_even_n=break_even, probes=tuple(probes))
+
+
+def generate(config: SweepConfig | None = None) -> list[Crossover]:
+    """Crossovers for all four kernels."""
+    config = config or default_config()
+    return [find_crossover(k, config) for k in KERNELS]
+
+
+def render(results: list[Crossover]) -> str:
+    """Text table with the break-even sizes in L2-fill units."""
+    rows = []
+    for r in results:
+        fill = 64  # scaled L2-fill order
+        rows.append(
+            [
+                r.kernel,
+                r.break_even_n if r.break_even_n is not None else "none",
+                (round(r.break_even_n / fill, 2) if r.break_even_n else "-"),
+                " ".join(f"{n}:{s:.2f}" for n, s in r.probes),
+            ]
+        )
+    return render_table(
+        ["kernel", "break-even N", "x L2-fill", "probes (N:speedup)"],
+        rows,
+        title="Crossover — sunk-tiled codes break even against sequential",
+    )
+
+
+def main(config: SweepConfig | None = None) -> str:
+    """Generate and render."""
+    return render(generate(config))

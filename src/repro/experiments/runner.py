@@ -1,0 +1,154 @@
+"""Running kernel variants under the machine model.
+
+``measure_variant`` is the single code path every figure uses: build the
+variant program, compile it with tracing, run it on deterministic inputs,
+replay the traces through the simulated Octane2, and return the
+:class:`~repro.machine.perfcounters.PerfReport`.
+
+Measurements are memoised in-process and, optionally, on disk
+(``REPRO_CACHE_DIR``; set ``REPRO_NO_CACHE=1`` to disable) — a sweep point
+costs seconds, and the benchmark suite re-runs them often.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.exec.compiled import CompiledProgram
+from repro.kernels.registry import get_kernel
+from repro.machine.perfcounters import PerfReport, measure
+from repro.experiments.sweep import SweepConfig
+
+_VARIANTS = ("seq", "fused", "fixed", "tiled", "tiled_sunk")
+
+
+@dataclass(frozen=True)
+class VariantMeasurement:
+    """One measured (kernel, variant, size) point."""
+
+    kernel: str
+    variant: str
+    n: int
+    tile: int | None
+    report: PerfReport
+
+
+_memo: dict[tuple, VariantMeasurement] = {}
+_compiled: dict[tuple, CompiledProgram] = {}
+
+
+def _cache_dir() -> Path | None:
+    if os.environ.get("REPRO_NO_CACHE", "") == "1":
+        return None
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+
+
+def _cache_key(kernel: str, variant: str, n: int, tile: int | None, config: SweepConfig) -> str:
+    costs = config.machine.costs
+    cost_tag = (f"v4-ic{costs.instruction_cycles}-l1{costs.l1_miss_cycles}"
+                f"-l2{costs.l2_miss_cycles}-r{config.machine.registers}")
+    return (
+        f"{kernel}-{variant}-N{n}-T{tile}-{config.machine.name}"
+        f"-M{config.jacobi_m}-s{config.seed}-{cost_tag}"
+    )
+
+
+def _load_cached(key: str) -> PerfReport | None:
+    d = _cache_dir()
+    if d is None:
+        return None
+    path = d / f"{key}.json"
+    if not path.exists():
+        return None
+    try:
+        data = json.loads(path.read_text())
+        return PerfReport(**data)
+    except (json.JSONDecodeError, TypeError):
+        return None
+
+
+def _store_cached(key: str, report: PerfReport) -> None:
+    d = _cache_dir()
+    if d is None:
+        return
+    d.mkdir(parents=True, exist_ok=True)
+    (d / f"{key}.json").write_text(json.dumps(report.as_dict()))
+
+
+def _build_program(kernel: str, variant: str, tile: int | None):
+    mod = get_kernel(kernel)
+    if variant == "seq":
+        return mod.sequential()
+    if variant == "fused":
+        return mod.fused_nest().to_program()
+    if variant == "fixed":
+        return mod.fixed()
+    if variant == "tiled":
+        return mod.tiled(tile if tile is not None else 8)
+    if variant == "tiled_sunk":
+        # guards left as code sinking produced them (paper Figs. 7-8 shape)
+        return mod.tiled(tile if tile is not None else 8, undo_sinking=False)
+    raise ReproError(f"unknown variant {variant!r}; choose from {_VARIANTS}")
+
+
+def _params_for(kernel: str, n: int, config: SweepConfig) -> dict[str, int]:
+    params = {"N": n}
+    if "M" in get_kernel(kernel).PARAMS:
+        params["M"] = config.jacobi_m
+    return params
+
+
+def measure_variant(
+    kernel: str,
+    variant: str,
+    n: int,
+    config: SweepConfig,
+    *,
+    tile: int | None = None,
+) -> VariantMeasurement:
+    """Measure one (kernel, variant, N) point (memoised)."""
+    if variant in ("tiled", "tiled_sunk") and tile is None:
+        tile = config.tile_for(n)
+    key = _cache_key(kernel, variant, n, tile, config)
+    memo_key = (key,)
+    if memo_key in _memo:
+        return _memo[memo_key]
+
+    cached = _load_cached(key)
+    if cached is not None:
+        result = VariantMeasurement(kernel, variant, n, tile, cached)
+        _memo[memo_key] = result
+        return result
+
+    mod = get_kernel(kernel)
+    params = _params_for(kernel, n, config)
+    rng = np.random.default_rng(config.seed)
+    inputs = mod.make_inputs(params, rng)
+
+    compile_key = (kernel, variant, tile)
+    cp = _compiled.get(compile_key)
+    if cp is None:
+        cp = CompiledProgram(_build_program(kernel, variant, tile), trace=True)
+        _compiled[compile_key] = cp
+    run = cp.run(params, inputs)
+    report = measure(run, cp.program, params, config.machine)
+    _store_cached(key, report)
+    result = VariantMeasurement(kernel, variant, n, tile, report)
+    _memo[memo_key] = result
+    return result
+
+
+def run_pair(
+    kernel: str, n: int, config: SweepConfig
+) -> tuple[VariantMeasurement, VariantMeasurement, float]:
+    """(seq, tiled, speedup) for one kernel and size."""
+    seq = measure_variant(kernel, "seq", n, config)
+    tiled = measure_variant(kernel, "tiled", n, config)
+    speedup = seq.report.total_cycles / tiled.report.total_cycles
+    return seq, tiled, speedup

@@ -1,0 +1,73 @@
+"""Sweep configuration: problem sizes, machine, tile policy.
+
+The paper sweeps N = 200..2500 at multiples of 238 (about 10 points
+bracketing the size where one array fills the 2 MB L2: 512x512 doubles)
+with Jacobi's M fixed at 500. The scaled machine's L2 holds 64x64 doubles,
+so the default scaled sweep brackets 64 the same way. Quick mode (the
+default for the pytest benchmarks) uses a 4-point subset; set
+``REPRO_FULL_SWEEP=1`` for the full curve and ``REPRO_FULL_MACHINE=1`` to
+run the real Octane2 geometry (very slow in pure Python).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.machine.configs import MachineConfig, default_machine
+from repro.tilesize.lrw import lrw_tile
+from repro.tilesize.pdat import pdat_tile
+
+#: Paper problem sizes (multiples of 238 within [200, 2500]).
+PAPER_SIZES = tuple(238 * i for i in range(1, 11))
+#: Scaled sweep: same ratio band around the L2-filling order (64). Like the
+#: paper's multiples of 238, the sizes avoid power-of-two leading
+#: dimensions, whose column stride aliases the 2-way sets pathologically
+#: (use REPRO_SIZES=128,... to study exactly that effect).
+SCALED_SIZES = (24, 56, 88, 120, 152, 184)
+#: Quick subset used by default in the benchmark suite.
+QUICK_SIZES = (24, 56, 88, 120)
+
+#: Jacobi time steps: paper 500; scaled runs use 12 (the miss behaviour is
+#: periodic in t once the working set is established).
+PAPER_JACOBI_M = 500
+SCALED_JACOBI_M = 12
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Everything a figure generator needs."""
+
+    machine: MachineConfig
+    sizes: tuple[int, ...]
+    jacobi_m: int
+    tile_policy: str = "pdat"  # "pdat" | "lrw" | "fixed:<edge>"
+    seed: int = 20050615
+
+    def tile_for(self, n: int) -> int:
+        """Tile edge for problem size *n* under the configured policy."""
+        if self.tile_policy == "pdat":
+            return pdat_tile(self.machine.l1)
+        if self.tile_policy == "lrw":
+            return lrw_tile(self.machine.l1, n)
+        if self.tile_policy.startswith("fixed:"):
+            return int(self.tile_policy.split(":", 1)[1])
+        raise ValueError(f"unknown tile policy {self.tile_policy!r}")
+
+
+def default_config(*, quick: bool | None = None) -> SweepConfig:
+    """Environment-aware default configuration."""
+    machine = default_machine()
+    full = os.environ.get("REPRO_FULL_SWEEP", "") == "1"
+    if quick is None:
+        quick = not full
+    sizes = SCALED_SIZES if not quick else QUICK_SIZES
+    if machine.name == "octane2":
+        sizes = PAPER_SIZES[:3] if quick else PAPER_SIZES
+        jacobi_m = PAPER_JACOBI_M
+    else:
+        jacobi_m = SCALED_JACOBI_M
+    env_sizes = os.environ.get("REPRO_SIZES")
+    if env_sizes:
+        sizes = tuple(int(s) for s in env_sizes.split(",") if s.strip())
+    return SweepConfig(machine=machine, sizes=tuple(sizes), jacobi_m=jacobi_m)

@@ -1,0 +1,29 @@
+"""Mini-Fortran text frontend.
+
+Programs can be written in the paper's FORTRAN-like notation and parsed
+into the IR::
+
+    from repro.frontend import parse_program
+
+    program = parse_program('''
+    program axpy
+      param N
+      real X(N), Y(N)
+      real a
+      output Y
+    begin
+      a = 2.0
+      do i = 1, N
+        Y(i) = Y(i) + a * X(i)
+      end do
+    end
+    ''')
+
+Comparison operators accept both Fortran (``.EQ.``, ``.LT.`` ...) and C
+(``==``, ``<`` ...) spellings; ``!`` starts a comment.
+"""
+
+from repro.frontend.lexer import Token, tokenize
+from repro.frontend.parser import parse_program
+
+__all__ = ["Token", "tokenize", "parse_program"]

@@ -1,0 +1,124 @@
+"""Emitting parseable mini-Fortran source from IR.
+
+The pretty-printer (:mod:`repro.ir.printer`) targets the paper's listing
+style; this emitter targets the *frontend grammar*, so programs round-trip:
+
+    parse_program(to_source(p)) == p        (structurally)
+
+which the property tests exercise on random programs. Useful for saving
+transformed kernels as standalone, re-parseable artefacts.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir.expr import (
+    ArrayRef,
+    BinOp,
+    Call,
+    Cmp,
+    Const,
+    Expr,
+    LogicalAnd,
+    LogicalNot,
+    LogicalOr,
+    Select,
+    UnOp,
+    VarRef,
+)
+from repro.ir.printer import expr_str
+from repro.ir.program import Program
+from repro.ir.stmt import Assign, If, Loop, Stmt
+
+_CMP_TEXT = {"==": "==", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+
+def _expr(e: Expr, prec: int = 0) -> str:
+    if isinstance(e, Const):
+        text = repr(e.value) if isinstance(e.value, float) else str(e.value)
+        if text.startswith("-"):
+            # the parser folds unary minus on literals back into Const
+            return f"(-{text[1:]})"
+        return text
+    if isinstance(e, VarRef):
+        return e.name
+    if isinstance(e, ArrayRef):
+        return f"{e.name}({', '.join(_expr(x) for x in e.indices)})"
+    if isinstance(e, BinOp):
+        p = 5 if e.op in "+-" else 6
+        lhs = _expr(e.lhs, p)
+        rhs = _expr(e.rhs, p + 1)
+        text = f"{lhs} {e.op} {rhs}"
+        return f"({text})" if p < prec else text
+    if isinstance(e, UnOp):
+        inner = _expr(e.operand, 7)
+        return f"(-{inner})"
+    if isinstance(e, Call):
+        return f"{e.func}({', '.join(_expr(a) for a in e.args)})"
+    if isinstance(e, Cmp):
+        return f"{_expr(e.lhs, 5)} {_CMP_TEXT[e.op]} {_expr(e.rhs, 5)}"
+    if isinstance(e, LogicalAnd):
+        return " .AND. ".join(_cond_atom(a) for a in e.args)
+    if isinstance(e, LogicalOr):
+        return " .OR. ".join(_cond_atom(a) for a in e.args)
+    if isinstance(e, LogicalNot):
+        return f".NOT. {_cond_atom(e.arg)}"
+    if isinstance(e, Select):
+        raise IRError(
+            "merge()/Select has no frontend syntax; lower it first "
+            f"(offending expression: {expr_str(e)})"
+        )
+    raise IRError(f"cannot emit expression {e!r}")
+
+
+def _cond_atom(e: Expr) -> str:
+    text = _expr(e)
+    if isinstance(e, (LogicalAnd, LogicalOr)):
+        return f"({text})"
+    return text
+
+
+def _stmt(s: Stmt, lines: list[str], depth: int) -> None:
+    pad = "  " * depth
+    if isinstance(s, Assign):
+        lines.append(f"{pad}{_expr(s.target)} = {_expr(s.value)}")
+    elif isinstance(s, Loop):
+        head = f"{pad}do {s.var} = {_expr(s.lower)}, {_expr(s.upper)}"
+        if not s.has_unit_step:
+            head += f", {_expr(s.step)}"
+        lines.append(head)
+        for t in s.body:
+            _stmt(t, lines, depth + 1)
+        lines.append(f"{pad}end do")
+    elif isinstance(s, If):
+        lines.append(f"{pad}if ({_expr(s.cond)}) then")
+        for t in s.then:
+            _stmt(t, lines, depth + 1)
+        if s.orelse:
+            lines.append(f"{pad}else")
+            for t in s.orelse:
+                _stmt(t, lines, depth + 1)
+        lines.append(f"{pad}end if")
+    else:
+        raise IRError(f"cannot emit statement {s!r}")
+
+
+def to_source(program: Program) -> str:
+    """Parseable mini-Fortran text for *program*."""
+    lines = [f"program {program.name}"]
+    if program.params:
+        lines.append(f"  param {', '.join(program.params)}")
+    for a in program.arrays:
+        dims = ", ".join(_expr(e) for e in a.extents)
+        kw = "integer" if a.dtype == "i8" else "real"
+        lines.append(f"  {kw} {a.name}({dims})")
+    for s in program.scalars:
+        kw = "integer" if s.dtype == "i8" else "real"
+        lines.append(f"  {kw} {s.name}")
+    if program.outputs:
+        lines.append(f"  output {', '.join(program.outputs)}")
+    lines.append("begin")
+    for stmt in program.body:
+        _stmt(stmt, lines, 1)
+    lines.append("end")
+    return "\n".join(lines) + "\n"

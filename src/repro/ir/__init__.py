@@ -1,0 +1,114 @@
+"""Loop-nest intermediate representation.
+
+The IR models the paper's program class: FORTRAN-like programs made of
+``do`` loops (unit step by default, affine bounds), assignments over scalars
+and multi-dimensional arrays (1-based, column-major storage), and ``if``
+guards. Non-affine guard conditions are allowed (LU's data-dependent pivot
+test); non-affine subscripts are rejected by the dependence analysis, not by
+the IR itself.
+"""
+
+from repro.ir.expr import (
+    ArrayRef,
+    BinOp,
+    Call,
+    Cmp,
+    Const,
+    Expr,
+    LogicalAnd,
+    LogicalNot,
+    LogicalOr,
+    Select,
+    UnOp,
+    VarRef,
+)
+from repro.ir.stmt import Assign, If, Loop, Stmt
+from repro.ir.program import ArrayDecl, Program, ScalarDecl
+from repro.ir.builder import (
+    and_,
+    assign,
+    ceq,
+    cge,
+    cgt,
+    cle,
+    clt,
+    cne,
+    fabs,
+    fmax,
+    fmin,
+    idx,
+    if_,
+    loop,
+    not_,
+    or_,
+    sqrt,
+    sym,
+    val,
+)
+from repro.ir.printer import pretty
+from repro.ir.affine import (
+    cond_to_constraints,
+    constraints_to_cond,
+    expr_to_linexpr,
+    is_affine,
+    is_affine_condition,
+    linexpr_to_expr,
+)
+from repro.ir.analysis import (
+    PerfectNest,
+    as_perfect_nest,
+    is_perfect_loop_nest,
+    iteration_domain,
+)
+
+__all__ = [
+    "Expr",
+    "Const",
+    "VarRef",
+    "ArrayRef",
+    "BinOp",
+    "UnOp",
+    "Call",
+    "Cmp",
+    "Select",
+    "LogicalAnd",
+    "LogicalOr",
+    "LogicalNot",
+    "Stmt",
+    "Assign",
+    "If",
+    "Loop",
+    "Program",
+    "ArrayDecl",
+    "ScalarDecl",
+    "pretty",
+    "expr_to_linexpr",
+    "linexpr_to_expr",
+    "cond_to_constraints",
+    "constraints_to_cond",
+    "is_affine",
+    "is_affine_condition",
+    "PerfectNest",
+    "as_perfect_nest",
+    "is_perfect_loop_nest",
+    "iteration_domain",
+    "sym",
+    "val",
+    "idx",
+    "assign",
+    "loop",
+    "if_",
+    "ceq",
+    "cne",
+    "clt",
+    "cle",
+    "cgt",
+    "cge",
+    "and_",
+    "or_",
+    "not_",
+    "sqrt",
+    "fabs",
+    "fmin",
+    "fmax",
+]

@@ -1,0 +1,145 @@
+"""Construction helpers (a small eDSL) for writing IR programs by hand.
+
+Example (Jacobi's first nest)::
+
+    i, j, N = sym("i"), sym("j"), sym("N")
+    L, A = arr2("L"), arr2("A")   # user-defined shorthands over idx()
+    nest = loop("i", 2, N - 1,
+             [loop("j", 2, N - 1,
+                [assign(idx("L", j, i),
+                        (idx("A", j, i - 1) + idx("A", j - 1, i)
+                         + idx("A", j + 1, i) + idx("A", j, i + 1)) * 0.25)])])
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.ir.expr import (
+    ArrayRef,
+    Call,
+    Cmp,
+    Const,
+    Expr,
+    LogicalAnd,
+    LogicalNot,
+    LogicalOr,
+    Number,
+    VarRef,
+    as_expr,
+)
+from repro.ir.stmt import Assign, If, Loop, Stmt
+
+
+def sym(name: str) -> VarRef:
+    """A scalar/loop/parameter reference."""
+    return VarRef(name)
+
+
+def val(value: Number) -> Const:
+    """A literal."""
+    return Const(value)
+
+
+def idx(array: str, *indices: Expr | Number) -> ArrayRef:
+    """Array element ``array(indices...)`` (1-based)."""
+    return ArrayRef(array, [as_expr(e) for e in indices])
+
+
+def assign(target: VarRef | ArrayRef | str, value: Expr | Number) -> Assign:
+    """Assignment; a string target means a scalar variable."""
+    if isinstance(target, str):
+        target = VarRef(target)
+    return Assign(target, as_expr(value))
+
+
+def loop(
+    var: str,
+    lower: Expr | Number,
+    upper: Expr | Number,
+    body: Iterable[Stmt],
+    step: Expr | Number = 1,
+) -> Loop:
+    """``do var = lower, upper[, step]``."""
+    return Loop(var, as_expr(lower), as_expr(upper), body, as_expr(step))
+
+
+def if_(cond: Expr, then: Iterable[Stmt] | Stmt, orelse: Iterable[Stmt] | Stmt = ()) -> If:
+    """Guarded block; single statements are wrapped in a tuple."""
+    if isinstance(then, Stmt):
+        then = (then,)
+    if isinstance(orelse, Stmt):
+        orelse = (orelse,)
+    return If(cond, then, orelse)
+
+
+# -- comparisons (named to avoid clobbering structural ==) -------------------
+
+
+def ceq(lhs: Expr | Number, rhs: Expr | Number) -> Cmp:
+    """``lhs .EQ. rhs``"""
+    return Cmp("==", as_expr(lhs), as_expr(rhs))
+
+
+def cne(lhs: Expr | Number, rhs: Expr | Number) -> Cmp:
+    """``lhs .NE. rhs``"""
+    return Cmp("!=", as_expr(lhs), as_expr(rhs))
+
+
+def clt(lhs: Expr | Number, rhs: Expr | Number) -> Cmp:
+    """``lhs .LT. rhs``"""
+    return Cmp("<", as_expr(lhs), as_expr(rhs))
+
+
+def cle(lhs: Expr | Number, rhs: Expr | Number) -> Cmp:
+    """``lhs .LE. rhs``"""
+    return Cmp("<=", as_expr(lhs), as_expr(rhs))
+
+
+def cgt(lhs: Expr | Number, rhs: Expr | Number) -> Cmp:
+    """``lhs .GT. rhs``"""
+    return Cmp(">", as_expr(lhs), as_expr(rhs))
+
+
+def cge(lhs: Expr | Number, rhs: Expr | Number) -> Cmp:
+    """``lhs .GE. rhs``"""
+    return Cmp(">=", as_expr(lhs), as_expr(rhs))
+
+
+def and_(*args: Expr) -> Expr:
+    """Conjunction (flattening); one argument passes through."""
+    if len(args) == 1:
+        return args[0]
+    return LogicalAnd(args)
+
+
+def or_(*args: Expr) -> Expr:
+    """Disjunction (flattening); one argument passes through."""
+    if len(args) == 1:
+        return args[0]
+    return LogicalOr(args)
+
+
+def not_(arg: Expr) -> LogicalNot:
+    """Negation."""
+    return LogicalNot(arg)
+
+
+def sqrt(arg: Expr | Number) -> Call:
+    """``sqrt(arg)`` intrinsic."""
+    return Call("sqrt", [as_expr(arg)])
+
+
+def fabs(arg: Expr | Number) -> Call:
+    """``abs(arg)`` intrinsic."""
+    return Call("abs", [as_expr(arg)])
+
+
+def fmin(*args: Expr | Number) -> Call:
+    """``min(args...)`` intrinsic."""
+    return Call("min", [as_expr(a) for a in args])
+
+
+def fmax(*args: Expr | Number) -> Call:
+    """``max(args...)`` intrinsic."""
+    return Call("max", [as_expr(a) for a in args])

@@ -1,0 +1,205 @@
+"""JSON (de)serialisation of IR programs.
+
+Transformed kernels are artefacts worth persisting exactly — the golden
+tests pin pretty-printed text, but JSON keeps the full tree (including
+constructs the mini-Fortran frontend cannot express, like ``Select``).
+The format is a plain nested-dict encoding with a ``kind`` tag per node.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import IRError
+from repro.ir.expr import (
+    ArrayRef,
+    BinOp,
+    Call,
+    Cmp,
+    Const,
+    Expr,
+    LogicalAnd,
+    LogicalNot,
+    LogicalOr,
+    Select,
+    UnOp,
+    VarRef,
+)
+from repro.ir.program import ArrayDecl, Program, ScalarDecl
+from repro.ir.stmt import Assign, If, Loop, Stmt
+
+
+def expr_to_dict(e: Expr) -> dict[str, Any]:
+    """Encode one expression node."""
+    if isinstance(e, Const):
+        return {"kind": "const", "value": e.value, "float": isinstance(e.value, float)}
+    if isinstance(e, VarRef):
+        return {"kind": "var", "name": e.name}
+    if isinstance(e, ArrayRef):
+        return {
+            "kind": "array",
+            "name": e.name,
+            "indices": [expr_to_dict(x) for x in e.indices],
+        }
+    if isinstance(e, BinOp):
+        return {
+            "kind": "binop",
+            "op": e.op,
+            "lhs": expr_to_dict(e.lhs),
+            "rhs": expr_to_dict(e.rhs),
+        }
+    if isinstance(e, UnOp):
+        return {"kind": "unop", "op": e.op, "operand": expr_to_dict(e.operand)}
+    if isinstance(e, Call):
+        return {"kind": "call", "func": e.func, "args": [expr_to_dict(a) for a in e.args]}
+    if isinstance(e, Cmp):
+        return {
+            "kind": "cmp",
+            "op": e.op,
+            "lhs": expr_to_dict(e.lhs),
+            "rhs": expr_to_dict(e.rhs),
+        }
+    if isinstance(e, LogicalAnd):
+        return {"kind": "and", "args": [expr_to_dict(a) for a in e.args]}
+    if isinstance(e, LogicalOr):
+        return {"kind": "or", "args": [expr_to_dict(a) for a in e.args]}
+    if isinstance(e, LogicalNot):
+        return {"kind": "not", "arg": expr_to_dict(e.arg)}
+    if isinstance(e, Select):
+        return {
+            "kind": "select",
+            "cond": expr_to_dict(e.cond),
+            "if_true": expr_to_dict(e.if_true),
+            "if_false": expr_to_dict(e.if_false),
+        }
+    raise IRError(f"cannot serialise expression {e!r}")
+
+
+def expr_from_dict(d: dict[str, Any]) -> Expr:
+    """Decode one expression node."""
+    kind = d["kind"]
+    if kind == "const":
+        value = d["value"]
+        return Const(float(value) if d.get("float") else int(value))
+    if kind == "var":
+        return VarRef(d["name"])
+    if kind == "array":
+        return ArrayRef(d["name"], [expr_from_dict(x) for x in d["indices"]])
+    if kind == "binop":
+        return BinOp(d["op"], expr_from_dict(d["lhs"]), expr_from_dict(d["rhs"]))
+    if kind == "unop":
+        return UnOp(d["op"], expr_from_dict(d["operand"]))
+    if kind == "call":
+        return Call(d["func"], [expr_from_dict(a) for a in d["args"]])
+    if kind == "cmp":
+        return Cmp(d["op"], expr_from_dict(d["lhs"]), expr_from_dict(d["rhs"]))
+    if kind == "and":
+        return LogicalAnd([expr_from_dict(a) for a in d["args"]])
+    if kind == "or":
+        return LogicalOr([expr_from_dict(a) for a in d["args"]])
+    if kind == "not":
+        return LogicalNot(expr_from_dict(d["arg"]))
+    if kind == "select":
+        return Select(
+            expr_from_dict(d["cond"]),
+            expr_from_dict(d["if_true"]),
+            expr_from_dict(d["if_false"]),
+        )
+    raise IRError(f"unknown expression kind {kind!r}")
+
+
+def stmt_to_dict(s: Stmt) -> dict[str, Any]:
+    """Encode one statement node."""
+    if isinstance(s, Assign):
+        return {
+            "kind": "assign",
+            "target": expr_to_dict(s.target),
+            "value": expr_to_dict(s.value),
+        }
+    if isinstance(s, If):
+        return {
+            "kind": "if",
+            "cond": expr_to_dict(s.cond),
+            "then": [stmt_to_dict(t) for t in s.then],
+            "orelse": [stmt_to_dict(t) for t in s.orelse],
+        }
+    if isinstance(s, Loop):
+        return {
+            "kind": "loop",
+            "var": s.var,
+            "lower": expr_to_dict(s.lower),
+            "upper": expr_to_dict(s.upper),
+            "step": expr_to_dict(s.step),
+            "body": [stmt_to_dict(t) for t in s.body],
+        }
+    raise IRError(f"cannot serialise statement {s!r}")
+
+
+def stmt_from_dict(d: dict[str, Any]) -> Stmt:
+    """Decode one statement node."""
+    kind = d["kind"]
+    if kind == "assign":
+        target = expr_from_dict(d["target"])
+        if not isinstance(target, (VarRef, ArrayRef)):
+            raise IRError("assign target must be var or array reference")
+        return Assign(target, expr_from_dict(d["value"]))
+    if kind == "if":
+        return If(
+            expr_from_dict(d["cond"]),
+            [stmt_from_dict(t) for t in d["then"]],
+            [stmt_from_dict(t) for t in d["orelse"]],
+        )
+    if kind == "loop":
+        return Loop(
+            d["var"],
+            expr_from_dict(d["lower"]),
+            expr_from_dict(d["upper"]),
+            [stmt_from_dict(t) for t in d["body"]],
+            expr_from_dict(d["step"]),
+        )
+    raise IRError(f"unknown statement kind {kind!r}")
+
+
+def program_to_dict(p: Program) -> dict[str, Any]:
+    """Encode a whole program."""
+    return {
+        "name": p.name,
+        "params": list(p.params),
+        "arrays": [
+            {
+                "name": a.name,
+                "extents": [expr_to_dict(e) for e in a.extents],
+                "dtype": a.dtype,
+            }
+            for a in p.arrays
+        ],
+        "scalars": [{"name": s.name, "dtype": s.dtype} for s in p.scalars],
+        "outputs": list(p.outputs),
+        "body": [stmt_to_dict(s) for s in p.body],
+    }
+
+
+def program_from_dict(d: dict[str, Any]) -> Program:
+    """Decode a whole program (runs full validation)."""
+    return Program(
+        d["name"],
+        tuple(d["params"]),
+        tuple(
+            ArrayDecl(a["name"], tuple(expr_from_dict(e) for e in a["extents"]), a["dtype"])
+            for a in d["arrays"]
+        ),
+        tuple(ScalarDecl(s["name"], s["dtype"]) for s in d["scalars"]),
+        tuple(stmt_from_dict(s) for s in d["body"]),
+        tuple(d["outputs"]),
+    )
+
+
+def dumps(p: Program, *, indent: int | None = None) -> str:
+    """Program -> JSON text."""
+    return json.dumps(program_to_dict(p), indent=indent)
+
+
+def loads(text: str) -> Program:
+    """JSON text -> Program."""
+    return program_from_dict(json.loads(text))

@@ -1,0 +1,181 @@
+"""Statement nodes: assignment, guarded block, and ``do`` loop."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.ir.expr import ArrayRef, Const, Expr, VarRef, as_expr
+
+
+class Stmt:
+    """Base class for statements. Statements are immutable trees."""
+
+    __slots__ = ("_hash",)
+
+    def _key(self) -> tuple:
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        h = getattr(self, "_hash", None)
+        if h is None:
+            h = hash((type(self).__name__, self._key()))
+            object.__setattr__(self, "_hash", h)
+        return h
+
+    def __str__(self) -> str:
+        from repro.ir.printer import pretty_stmt
+
+        return pretty_stmt(self)
+
+    def __repr__(self) -> str:
+        first = str(self).splitlines()[0]
+        return f"<{type(self).__name__} {first!r}>"
+
+
+class Assign(Stmt):
+    """``target = value`` where target is a scalar or array element."""
+
+    __slots__ = ("target", "value")
+
+    def __init__(self, target: VarRef | ArrayRef, value: Expr):
+        if not isinstance(target, (VarRef, ArrayRef)):
+            raise TypeError(
+                f"Assign target must be VarRef or ArrayRef, got {type(target).__name__}"
+            )
+        object.__setattr__(self, "target", target)
+        object.__setattr__(self, "value", as_expr(value))
+
+    def _key(self) -> tuple:
+        return (self.target, self.value)
+
+    def __setattr__(self, *a: object) -> None:
+        raise AttributeError("Stmt nodes are immutable")
+
+
+class If(Stmt):
+    """``if (cond) then ... [else ...]``."""
+
+    __slots__ = ("cond", "then", "orelse")
+
+    def __init__(
+        self,
+        cond: Expr,
+        then: Iterable[Stmt],
+        orelse: Iterable[Stmt] = (),
+    ):
+        object.__setattr__(self, "cond", as_expr(cond))
+        object.__setattr__(self, "then", _as_body(then))
+        object.__setattr__(self, "orelse", _as_body(orelse))
+        if not self.then and not self.orelse:
+            raise TypeError("If with empty branches")
+
+    def _key(self) -> tuple:
+        return (self.cond, self.then, self.orelse)
+
+    def __setattr__(self, *a: object) -> None:
+        raise AttributeError("Stmt nodes are immutable")
+
+
+class Loop(Stmt):
+    """``do var = lower, upper[, step]`` with inclusive bounds.
+
+    Step defaults to 1 and must be a positive constant when present (the
+    paper's model; tiled loops use step = tile size).
+    """
+
+    __slots__ = ("var", "lower", "upper", "step", "body")
+
+    def __init__(
+        self,
+        var: str,
+        lower: Expr | int,
+        upper: Expr | int,
+        body: Iterable[Stmt],
+        step: Expr | int = 1,
+    ):
+        if not isinstance(var, str) or not var:
+            raise TypeError(f"Loop var must be non-empty str, got {var!r}")
+        object.__setattr__(self, "var", var)
+        object.__setattr__(self, "lower", as_expr(lower))
+        object.__setattr__(self, "upper", as_expr(upper))
+        object.__setattr__(self, "step", as_expr(step))
+        object.__setattr__(self, "body", _as_body(body))
+        if not self.body:
+            raise TypeError(f"Loop over {var} with empty body")
+
+    @property
+    def has_unit_step(self) -> bool:
+        """True iff the step is the constant 1."""
+        return isinstance(self.step, Const) and self.step.value == 1
+
+    def _key(self) -> tuple:
+        return (self.var, self.lower, self.upper, self.step, self.body)
+
+    def __setattr__(self, *a: object) -> None:
+        raise AttributeError("Stmt nodes are immutable")
+
+
+def _as_body(stmts: Iterable[Stmt]) -> tuple[Stmt, ...]:
+    body = tuple(stmts)
+    for s in body:
+        if not isinstance(s, Stmt):
+            raise TypeError(f"statement expected, got {type(s).__name__}")
+    return body
+
+
+def walk_stmts(stmts: Iterable[Stmt]):
+    """Yield every statement in the forest, pre-order."""
+    for s in stmts:
+        yield s
+        if isinstance(s, If):
+            yield from walk_stmts(s.then)
+            yield from walk_stmts(s.orelse)
+        elif isinstance(s, Loop):
+            yield from walk_stmts(s.body)
+
+
+def map_stmt_exprs(stmt: Stmt, fn: Callable[[Expr], Expr]) -> Stmt:
+    """Rebuild *stmt* with *fn* applied to every expression it contains.
+
+    ``fn`` receives whole expressions (assignment targets and values, guard
+    conditions, loop bounds) and returns replacements.
+    """
+    if isinstance(stmt, Assign):
+        target = fn(stmt.target)
+        if not isinstance(target, (VarRef, ArrayRef)):
+            raise TypeError("expression mapper changed an Assign target kind")
+        return Assign(target, fn(stmt.value))
+    if isinstance(stmt, If):
+        return If(
+            fn(stmt.cond),
+            [map_stmt_exprs(s, fn) for s in stmt.then],
+            [map_stmt_exprs(s, fn) for s in stmt.orelse],
+        )
+    if isinstance(stmt, Loop):
+        return Loop(
+            stmt.var,
+            fn(stmt.lower),
+            fn(stmt.upper),
+            [map_stmt_exprs(s, fn) for s in stmt.body],
+            fn(stmt.step),
+        )
+    raise TypeError(f"unknown Stmt node {type(stmt).__name__}")
+
+
+def stmt_expressions(stmt: Stmt):
+    """Yield the top-level expressions of a statement (not recursing into
+    nested statements)."""
+    if isinstance(stmt, Assign):
+        yield stmt.target
+        yield stmt.value
+    elif isinstance(stmt, If):
+        yield stmt.cond
+    elif isinstance(stmt, Loop):
+        yield stmt.lower
+        yield stmt.upper
+        yield stmt.step
+    else:
+        raise TypeError(f"unknown Stmt node {type(stmt).__name__}")

@@ -1,0 +1,21 @@
+"""The paper's four kernels (Fig. 1): LU with partial pivoting, QR
+(Householder-style column norms), Cholesky, and Jacobi.
+
+Each kernel module exposes the same surface:
+
+- ``sequential()`` — the Figure-1 program as IR;
+- ``fusable()`` — the (possibly peeled/distributed) equivalent program the
+  fusion step consumes;
+- ``fused_nest()`` — the Figure-3 fused form (before dependence fixing);
+- ``fixed()`` — the Figure-4 form: ``FixDeps`` applied, plus cleanups;
+- ``tiled(tile)`` — the Section-4 cache-tiled variant;
+- ``make_inputs(params, rng)`` — well-conditioned random inputs;
+- ``reference(params, inputs)`` — an independent numpy implementation.
+
+All variants are validated against each other by the test suite (the
+executable Theorems 1–2).
+"""
+
+from repro.kernels.registry import KERNELS, get_kernel
+
+__all__ = ["KERNELS", "get_kernel"]

@@ -1,0 +1,151 @@
+"""Jacobi 4-point stencil (paper Fig. 1d / Fig. 3d / Fig. 4d).
+
+Two sweeps per time step over the same data: compute the smoothed field
+``L`` from ``A``, then write it back. Fusing the sweeps violates the
+anti-dependences on the backward neighbours ``A(j,i-1)`` and ``A(j-1,i)``;
+``ElimRW`` fixes them with the copy array ``H`` and (via the guard
+simplification) the paper's boundary pre-copies. The tiled variant skews
+the fused ``(t, i, j)`` nest by time, moves time innermost, and tiles all
+three loops.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.ir import ArrayDecl, Program, assign, idx, loop, sym
+from repro.kernels.inputs import default_rng, grid_field
+from repro.trans.cleanup import scalarize_arrays
+from repro.trans.fixdeps import FixDepsReport, fix_dependences
+from repro.trans.fusion import NestEmbedding, fuse_siblings
+from repro.trans.model import FusedNest
+from repro.trans.skew import skew_and_permute
+from repro.trans.tiling import tile_program
+
+NAME = "jacobi"
+PARAMS = ("N", "M")
+DEFAULT_PARAMS = {"N": 32, "M": 8}
+
+_N, _M = sym("N"), sym("M")
+_t, _i, _j = sym("t"), sym("i"), sym("j")
+
+
+def _stencil_value():
+    return (
+        idx("A", _j, _i - 1)
+        + idx("A", _j - 1, _i)
+        + idx("A", _j + 1, _i)
+        + idx("A", _j, _i + 1)
+    ) * 0.25
+
+
+def sequential() -> Program:
+    """The Figure-1(d) program."""
+    compute = loop(
+        "i", 2, _N - 1, [loop("j", 2, _N - 1, [assign(idx("L", _j, _i), _stencil_value())])]
+    )
+    writeback = loop(
+        "i", 2, _N - 1, [loop("j", 2, _N - 1, [assign(idx("A", _j, _i), idx("L", _j, _i))])]
+    )
+    body = loop("t", 0, _M, [compute, writeback])
+    return Program(
+        "jacobi_seq",
+        PARAMS,
+        (ArrayDecl("A", (_N, _N)), ArrayDecl("L", (_N, _N))),
+        (),
+        (body,),
+        outputs=("A",),
+    )
+
+
+def fusable() -> Program:
+    """Jacobi fuses as-is (no peeling or distribution needed)."""
+    return sequential()
+
+
+def fused_nest() -> FusedNest:
+    """The Figure-3(d) fused form: both sweeps aligned identically."""
+    from repro.ir import val
+
+    identity = NestEmbedding(var_map={"i": "i", "j": "j"})
+    return fuse_siblings(
+        fusable(),
+        [("i", val(2), _N - 1), ("j", val(2), _N - 1)],
+        [identity, identity],
+        context_depth=1,
+    )
+
+
+def fixed(*, simplify_copies: bool = True, scalarize: bool = True) -> Program:
+    """The Figure-4(d) form: copies inserted, ``L`` scalarised."""
+    report = fix_dependences(fused_nest(), simplify_copies=simplify_copies)
+    program = report.program("jacobi_fixed")
+    if scalarize:
+        program = scalarize_arrays(program, ["L"])
+    return program
+
+
+def fixdeps_report() -> FixDepsReport:
+    """Full FixDeps audit (used by tests and reports)."""
+    return fix_dependences(fused_nest())
+
+
+def tiled(tile: int = 8, *, time_tile: int | None = None, undo_sinking: bool = True) -> Program:
+    """Sec. 4 tiling: skew space loops by time, time innermost, tile all.
+
+    ``tile`` is the space tile; ``time_tile`` defaults to the same.
+    ``undo_sinking`` is accepted for interface uniformity; the skewed
+    Jacobi carries no guards ("no extra conditionals are introduced").
+    """
+    program = fixed()
+    # The fused time nest sits after the ElimRW pre-copy loops.
+    nest_index = _nest_index(program)
+    skewed = skew_and_permute(
+        program,
+        skews={1: {0: 1}, 2: {0: 1}},
+        order=(1, 2, 0),
+        nest_index=nest_index,
+        new_names=("ii", "jj", "tt"),
+        name="jacobi_skewed",
+    )
+    sizes = {"ii": tile, "jj": tile, "tt": time_tile or tile}
+    out = tile_program(
+        skewed,
+        sizes,
+        order=["iit", "jjt", "ttt", "ii", "jj", "tt"],
+        nest_index=nest_index,
+        name="jacobi_tiled",
+    )
+    return out
+
+
+def _nest_index(program: Program) -> int:
+    from repro.ir.stmt import Loop
+
+    for pos, stmt in enumerate(program.body):
+        if isinstance(stmt, Loop) and stmt.var == "t":
+            return pos
+    raise ValueError("no time loop found")
+
+
+def make_inputs(params: Mapping[str, int], rng=None) -> dict[str, np.ndarray]:
+    """Random initial field."""
+    rng = rng or default_rng()
+    return {"A": grid_field(params["N"], rng)}
+
+
+def reference(params: Mapping[str, int], inputs: Mapping[str, np.ndarray]) -> dict:
+    """Vectorised numpy Jacobi (M+1 steps, matching ``do t = 0, M``)."""
+    a = np.array(inputs["A"], dtype=np.float64)
+    n, m = params["N"], params["M"]
+    for _ in range(m + 1):
+        smooth = 0.25 * (
+            a[1 : n - 1, 0 : n - 2]
+            + a[0 : n - 2, 1 : n - 1]
+            + a[2:n, 1 : n - 1]
+            + a[1 : n - 1, 2:n]
+        )
+        a[1 : n - 1, 1 : n - 1] = smooth
+    return {"A": a}

@@ -1,0 +1,33 @@
+"""Kernel lookup by name."""
+
+from __future__ import annotations
+
+from types import ModuleType
+
+
+def _modules() -> dict[str, ModuleType]:
+    from repro.kernels import cholesky, gauss_seidel, jacobi, lu, qr
+
+    return {
+        "lu": lu,
+        "qr": qr,
+        "cholesky": cholesky,
+        "jacobi": jacobi,
+        "gauss_seidel": gauss_seidel,
+    }
+
+
+#: Kernel names in the paper's Figure-1 order (the evaluation suite).
+KERNELS = ("lu", "qr", "cholesky", "jacobi")
+
+#: Extension kernels beyond the paper's four (Sec. 5 mentions
+#: Gauss–Seidel as a stencil data shackling cannot handle).
+EXTENSION_KERNELS = ("gauss_seidel",)
+
+
+def get_kernel(name: str) -> ModuleType:
+    """The kernel module for *name* (lu / qr / cholesky / jacobi)."""
+    mods = _modules()
+    if name not in mods:
+        raise KeyError(f"unknown kernel {name!r}; choose from {sorted(mods)}")
+    return mods[name]

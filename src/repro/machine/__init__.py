@@ -1,0 +1,43 @@
+"""Trace-driven machine model of the paper's SGI Octane2 testbed.
+
+The paper measures, via the SGI ``perfex`` tool: L1/L2 data-cache misses,
+resolved and mispredicted branches, and graduated instructions, and converts
+them to cycles with fixed typical costs (Sec. 4). This package reproduces
+exactly those observables from the executor's traces:
+
+- :mod:`repro.machine.layout` — column-major array placement in a flat
+  address space;
+- :mod:`repro.machine.cache` — set-associative LRU data-cache simulation;
+- :mod:`repro.machine.hierarchy` — two-level (L1 + unified L2) filtering;
+- :mod:`repro.machine.branch` — branch predictors (2-bit saturating
+  counters by default);
+- :mod:`repro.machine.configs` — the Octane2 geometry and a scaled-down
+  variant for tractable sweeps;
+- :mod:`repro.machine.costmodel` — per-event cycle costs (9.92 / 162.55 /
+  1 / 5) and the cycle aggregation;
+- :mod:`repro.machine.perfcounters` — the end-to-end "perfex" report.
+"""
+
+from repro.machine.branch import StaticTakenPredictor, TwoBitPredictor
+from repro.machine.cache import CacheConfig, simulate_cache
+from repro.machine.configs import MachineConfig, octane2, octane2_scaled
+from repro.machine.costmodel import CostModel
+from repro.machine.hierarchy import HierarchyResult, simulate_hierarchy
+from repro.machine.layout import MemoryLayout
+from repro.machine.perfcounters import PerfReport, measure
+
+__all__ = [
+    "CacheConfig",
+    "simulate_cache",
+    "MachineConfig",
+    "octane2",
+    "octane2_scaled",
+    "CostModel",
+    "HierarchyResult",
+    "simulate_hierarchy",
+    "MemoryLayout",
+    "PerfReport",
+    "measure",
+    "TwoBitPredictor",
+    "StaticTakenPredictor",
+]

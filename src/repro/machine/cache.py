@@ -1,0 +1,118 @@
+"""Set-associative LRU data-cache simulation.
+
+Matches the paper's Octane2 caches: physically simple, LRU replacement,
+write-allocate (reads and writes are treated alike for residency — perfex's
+data-cache miss counters do not distinguish them either). Write-back traffic
+is not modelled; the paper's analysis uses miss *counts* only.
+
+The simulator exploits the classic LRU property: with associativity ``A``,
+the resident lines of a set are exactly the ``A`` most recently accessed
+distinct lines mapping to it. The inner loop is plain Python over small
+per-set lists (A <= 16), roughly 0.3 µs per access; traces in the scaled
+experiments are a few million events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MachineError
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level."""
+
+    name: str
+    size_bytes: int
+    line_bytes: int
+    assoc: int
+
+    def __post_init__(self) -> None:
+        for field in ("size_bytes", "line_bytes", "assoc"):
+            v = getattr(self, field)
+            if not isinstance(v, int) or v <= 0:
+                raise MachineError(f"{self.name}: {field} must be positive int")
+        if self.line_bytes & (self.line_bytes - 1):
+            raise MachineError(f"{self.name}: line size must be a power of two")
+        if self.size_bytes % (self.line_bytes * self.assoc):
+            raise MachineError(
+                f"{self.name}: size {self.size_bytes} not divisible by "
+                f"line*assoc = {self.line_bytes * self.assoc}"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        """Number of cache sets."""
+        return self.size_bytes // (self.line_bytes * self.assoc)
+
+    @property
+    def line_shift(self) -> int:
+        """log2(line size)."""
+        return self.line_bytes.bit_length() - 1
+
+
+def simulate_cache(config: CacheConfig, addresses: np.ndarray) -> np.ndarray:
+    """Replay *addresses* through an initially-cold cache.
+
+    Returns a boolean array: ``True`` where the access missed.
+    """
+    if addresses.ndim != 1:
+        raise MachineError("addresses must be a 1-D array")
+    n = len(addresses)
+    misses = np.zeros(n, dtype=bool)
+    if n == 0:
+        return misses
+    lines = (addresses >> config.line_shift).tolist()
+    nsets = config.num_sets
+    assoc = config.assoc
+    sets: list[list[int]] = [[] for _ in range(nsets)]
+    miss_list = [False] * n
+    for pos, line in enumerate(lines):
+        ways = sets[line % nsets]
+        if line in ways:
+            if ways[0] != line:
+                ways.remove(line)
+                ways.insert(0, line)
+        else:
+            miss_list[pos] = True
+            ways.insert(0, line)
+            if len(ways) > assoc:
+                ways.pop()
+    return np.asarray(miss_list, dtype=bool)
+
+
+def stack_distances(addresses: np.ndarray, line_shift: int) -> np.ndarray:
+    """LRU stack distance of each access at *line* granularity.
+
+    Distance = number of distinct lines touched since the previous access to
+    the same line (``-1`` for cold accesses). A fully-associative LRU cache
+    of capacity ``C`` lines hits exactly the accesses with
+    ``0 <= distance < C`` — the Mattson inclusion property, used by tests
+    and by the LRW-style working-set diagnostics.
+    """
+    lines = (np.asarray(addresses) >> line_shift).tolist()
+    stack: list[int] = []
+    out = np.empty(len(lines), dtype=np.int64)
+    for pos, line in enumerate(lines):
+        try:
+            depth = stack.index(line)
+        except ValueError:
+            out[pos] = -1
+            stack.insert(0, line)
+            continue
+        out[pos] = depth
+        if depth:
+            del stack[depth]
+            stack.insert(0, line)
+    return out
+
+
+def misses_fully_associative(
+    addresses: np.ndarray, line_shift: int, capacity_lines: int
+) -> int:
+    """Miss count of a fully-associative LRU cache (via stack distances)."""
+    d = stack_distances(addresses, line_shift)
+    return int(((d < 0) | (d >= capacity_lines)).sum())

@@ -1,0 +1,50 @@
+"""Two-level cache hierarchy: L1 data cache filtered into a unified L2.
+
+Accesses that hit L1 never reach L2 (inclusive lookup path); every L1 miss
+is replayed against L2 in order. This is the standard trace-filtering model
+and matches how perfex's L1/L2 miss counters relate on the R14000A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machine.cache import CacheConfig, simulate_cache
+
+
+@dataclass(frozen=True)
+class HierarchyResult:
+    """Miss statistics of one trace replay."""
+
+    accesses: int
+    l1_misses: int
+    l2_misses: int
+    #: Boolean per-access L1 miss mask (diagnostics; may be large).
+    l1_miss_mask: np.ndarray
+
+    @property
+    def l1_miss_rate(self) -> float:
+        """L1 misses / accesses (0 for an empty trace)."""
+        return self.l1_misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def l2_miss_rate(self) -> float:
+        """L2 misses / L1 misses (local miss rate; 0 when L1 never missed)."""
+        return self.l2_misses / self.l1_misses if self.l1_misses else 0.0
+
+
+def simulate_hierarchy(
+    l1: CacheConfig, l2: CacheConfig, addresses: np.ndarray
+) -> HierarchyResult:
+    """Replay *addresses* through L1 then L2."""
+    l1_mask = simulate_cache(l1, addresses)
+    l2_stream = addresses[l1_mask]
+    l2_mask = simulate_cache(l2, l2_stream)
+    return HierarchyResult(
+        accesses=len(addresses),
+        l1_misses=int(l1_mask.sum()),
+        l2_misses=int(l2_mask.sum()),
+        l1_miss_mask=l1_mask,
+    )

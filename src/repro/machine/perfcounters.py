@@ -1,0 +1,109 @@
+"""End-to-end perfex-style measurement of one traced run.
+
+``measure`` is the single entry point the experiment harness uses: it takes
+a traced :class:`~repro.exec.events.RunResult`, lays the arrays out in
+memory, replays the memory trace through the cache hierarchy and the branch
+trace through the predictor, and aggregates cycles with the cost model —
+yielding every observable the paper's Figures 5–8 plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import MachineError
+from repro.exec.events import Counters, RunResult
+from repro.ir.program import Program
+from repro.machine.branch import TwoBitPredictor
+from repro.machine.configs import MachineConfig
+from repro.machine.hierarchy import simulate_hierarchy
+from repro.machine.layout import layout_for_run
+from repro.machine.registers import filter_loads
+
+
+@dataclass(frozen=True)
+class PerfReport:
+    """All per-run observables (the paper's perfex counters + cycles)."""
+
+    program: str
+    machine: str
+    accesses: int
+    register_load_hits: int
+    l1_misses: int
+    l2_misses: int
+    branches_resolved: int
+    branches_mispredicted: int
+    graduated_instructions: int
+    l1_miss_cycles: float
+    l2_miss_cycles: float
+    branch_resolve_cycles: float
+    branch_mispredict_cycles: float
+    total_cycles: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat dict (stable order) for tables and JSON dumps."""
+        return {
+            "program": self.program,
+            "machine": self.machine,
+            "accesses": self.accesses,
+            "register_load_hits": self.register_load_hits,
+            "l1_misses": self.l1_misses,
+            "l2_misses": self.l2_misses,
+            "branches_resolved": self.branches_resolved,
+            "branches_mispredicted": self.branches_mispredicted,
+            "graduated_instructions": self.graduated_instructions,
+            "l1_miss_cycles": self.l1_miss_cycles,
+            "l2_miss_cycles": self.l2_miss_cycles,
+            "branch_resolve_cycles": self.branch_resolve_cycles,
+            "branch_mispredict_cycles": self.branch_mispredict_cycles,
+            "total_cycles": self.total_cycles,
+        }
+
+
+def measure(
+    result: RunResult,
+    program: Program,
+    params: Mapping[str, int],
+    machine: MachineConfig,
+    *,
+    predictor=None,
+) -> PerfReport:
+    """Replay a traced run on *machine* and aggregate its cost report."""
+    if result.trace is None:
+        raise MachineError("measure() needs a traced run (trace=True)")
+    layout = layout_for_run(result, program, params)
+    aid, lin, rw = result.trace.memory_events()
+    id_to_name = {v: k for k, v in result.array_ids.items()}
+    addresses = layout.addresses(aid, lin, id_to_name)
+    regs = filter_loads(addresses, rw, machine.registers)
+    memory_stream = addresses[regs.to_memory]
+    hier = simulate_hierarchy(machine.l1, machine.l2, memory_stream)
+
+    sid, taken = result.trace.branch_events()
+    predictor = predictor or TwoBitPredictor()
+    branch = predictor.simulate(sid, taken)
+
+    costs = machine.costs
+    counters = result.counters
+    # Register-elided loads never graduate as instructions.
+    effective = Counters(**counters.as_dict())
+    effective.loads = max(counters.loads - regs.load_hits, 0)
+    return PerfReport(
+        program=program.name,
+        machine=machine.name,
+        accesses=hier.accesses,
+        register_load_hits=regs.load_hits,
+        l1_misses=hier.l1_misses,
+        l2_misses=hier.l2_misses,
+        branches_resolved=branch.resolved,
+        branches_mispredicted=branch.mispredicted,
+        graduated_instructions=costs.graduated_instructions(effective),
+        l1_miss_cycles=costs.l1_miss_cycle_total(hier.l1_misses),
+        l2_miss_cycles=costs.l2_miss_cycle_total(hier.l2_misses),
+        branch_resolve_cycles=branch.resolved * costs.branch_resolve_cycles,
+        branch_mispredict_cycles=branch.mispredicted * costs.branch_mispredict_cycles,
+        total_cycles=costs.total_cycles(
+            effective, hier.l1_misses, hier.l2_misses, branch.mispredicted
+        ),
+    )

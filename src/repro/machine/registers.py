@@ -1,0 +1,69 @@
+"""Register-file model: load filtering ahead of the cache hierarchy.
+
+The MIPSpro compiler keeps recently used array elements in the R14000A's
+32 floating-point registers; a load whose value is already register-resident
+never issues. This matters for exactly the effect the paper highlights for
+Jacobi: with the time loop innermost, consecutive time steps touch the same
+elements, and the compiler turns those reloads into register reuse ("we have
+also reduced the number of array loads in the tiled code by an average of
+40.9%").
+
+The model is a fully-associative LRU window of *element* addresses:
+
+- a load hits (is elided) iff its element is among the ``capacity`` most
+  recently touched distinct elements;
+- stores always reach memory (write-through towards the cache model) and
+  make their element register-resident (store-to-load forwarding).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MachineError
+
+#: Element granularity (doubles).
+ELEMENT_SHIFT = 3
+
+
+@dataclass(frozen=True)
+class RegisterFilterResult:
+    """Outcome of filtering one access stream."""
+
+    #: True where the access must go to memory.
+    to_memory: np.ndarray
+    #: Number of loads elided by register reuse.
+    load_hits: int
+
+
+def filter_loads(
+    addresses: np.ndarray,
+    is_write: np.ndarray,
+    capacity: int = 32,
+) -> RegisterFilterResult:
+    """Filter the access stream through an LRU register window."""
+    if capacity < 0:
+        raise MachineError("register capacity must be non-negative")
+    n = len(addresses)
+    if capacity == 0 or n == 0:
+        return RegisterFilterResult(np.ones(n, dtype=bool), 0)
+    elements = (np.asarray(addresses) >> ELEMENT_SHIFT).tolist()
+    writes = np.asarray(is_write).astype(bool).tolist()
+    window: OrderedDict[int, None] = OrderedDict()
+    keep = [True] * n
+    hits = 0
+    for pos, elem in enumerate(elements):
+        resident = elem in window
+        if resident:
+            window.move_to_end(elem)
+        else:
+            window[elem] = None
+            if len(window) > capacity:
+                window.popitem(last=False)
+        if resident and not writes[pos]:
+            keep[pos] = False
+            hits += 1
+    return RegisterFilterResult(np.asarray(keep, dtype=bool), hits)

@@ -1,0 +1,79 @@
+"""Write-back cache simulation (dirty-line eviction traffic).
+
+The paper's analysis uses miss counts only; this extension models the
+write-back traffic a real Octane2 generates, for the bandwidth ablation:
+every store dirties its line, and evicting a dirty line costs a write of
+one line to the next level. Tiling changes not only the miss count but the
+*dirty* eviction count (tiled kernels overwrite resident lines many times
+before eviction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MachineError
+from repro.machine.cache import CacheConfig
+
+
+@dataclass(frozen=True)
+class WritebackResult:
+    """Misses and dirty evictions of one replay."""
+
+    misses: np.ndarray  # per-access bool
+    writebacks: int
+    #: dirty lines still resident at the end (flushed at program exit)
+    dirty_at_end: int
+
+    @property
+    def miss_count(self) -> int:
+        """Total misses."""
+        return int(self.misses.sum())
+
+    @property
+    def total_writeback_lines(self) -> int:
+        """Evicted-dirty plus final flush."""
+        return self.writebacks + self.dirty_at_end
+
+
+def simulate_writeback(
+    config: CacheConfig, addresses: np.ndarray, is_write: np.ndarray
+) -> WritebackResult:
+    """Replay with write-allocate, write-back semantics."""
+    if len(addresses) != len(is_write):
+        raise MachineError("addresses and is_write must align")
+    n = len(addresses)
+    if n == 0:
+        return WritebackResult(np.zeros(0, dtype=bool), 0, 0)
+    lines = (np.asarray(addresses) >> config.line_shift).tolist()
+    writes = np.asarray(is_write).astype(bool).tolist()
+    nsets = config.num_sets
+    assoc = config.assoc
+    # Per set: list of [line, dirty] in MRU order.
+    sets: list[list[list]] = [[] for _ in range(nsets)]
+    miss_list = [False] * n
+    writebacks = 0
+    for pos, line in enumerate(lines):
+        ways = sets[line % nsets]
+        hit = None
+        for way in ways:
+            if way[0] == line:
+                hit = way
+                break
+        if hit is not None:
+            if ways[0] is not hit:
+                ways.remove(hit)
+                ways.insert(0, hit)
+            if writes[pos]:
+                hit[1] = True
+        else:
+            miss_list[pos] = True
+            ways.insert(0, [line, writes[pos]])
+            if len(ways) > assoc:
+                victim = ways.pop()
+                if victim[1]:
+                    writebacks += 1
+    dirty = sum(1 for ways in sets for way in ways if way[1])
+    return WritebackResult(np.asarray(miss_list, dtype=bool), writebacks, dirty)

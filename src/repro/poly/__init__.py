@@ -1,0 +1,47 @@
+"""Integer polyhedra over named variables with exact rational arithmetic.
+
+This subpackage is a from-scratch replacement for the slice of isl / Omega /
+PIP functionality the paper's algorithm needs:
+
+- :mod:`repro.poly.linexpr` — affine expressions ``sum c_i * x_i + c0`` with
+  :class:`fractions.Fraction` coefficients.
+- :mod:`repro.poly.constraint` — ``e >= 0`` / ``e == 0`` constraints with
+  integer normalisation and tightening.
+- :mod:`repro.poly.polyhedron` — conjunctions of constraints over an ordered
+  variable tuple.
+- :mod:`repro.poly.fm` — exact Fourier–Motzkin elimination (rational), with
+  unit-coefficient integer-exactness tracking.
+- :mod:`repro.poly.integer` — integer feasibility via substitution of
+  equalities + bounded branch-and-bound search.
+- :mod:`repro.poly.optimize` — parametric max/min of an affine objective.
+- :mod:`repro.poly.lexmin` — parametric lexicographic minimum (PIP-lite) and
+  an exact enumeration fallback.
+- :mod:`repro.poly.enumerate` — integer-point enumeration oracles used by
+  tests and by non-parametric fallbacks.
+"""
+
+from repro.poly.constraint import Constraint, eq0, ge0
+from repro.poly.enumerate import enumerate_points
+from repro.poly.fm import eliminate, project_onto
+from repro.poly.integer import find_integer_point, integer_feasible
+from repro.poly.lexmin import lexmin_enumerate, parametric_lexmin
+from repro.poly.linexpr import LinExpr
+from repro.poly.optimize import parametric_max, parametric_min
+from repro.poly.polyhedron import Polyhedron
+
+__all__ = [
+    "LinExpr",
+    "Constraint",
+    "ge0",
+    "eq0",
+    "Polyhedron",
+    "eliminate",
+    "project_onto",
+    "integer_feasible",
+    "find_integer_point",
+    "parametric_max",
+    "parametric_min",
+    "parametric_lexmin",
+    "lexmin_enumerate",
+    "enumerate_points",
+]

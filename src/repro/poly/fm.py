@@ -1,0 +1,147 @@
+"""Fourier–Motzkin elimination with exact rational arithmetic.
+
+FM computes the *rational* shadow of a polyhedron. For the affine programs
+this package handles (loop bounds and subscripts with unit coefficients on
+the eliminated variable), the rational shadow coincides with the integer
+shadow; ``eliminate(..., require_exact=True)`` enforces that condition and
+raises :class:`~repro.errors.CaseSplitError` when it does not hold, so
+callers can fall back to enumeration instead of silently using an
+over-approximation.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.errors import CaseSplitError, PolyhedronError
+from repro.poly.constraint import Constraint, Kind, ge0
+from repro.poly.linexpr import LinExpr
+from repro.poly.polyhedron import Polyhedron
+
+# Safety valve against pathological constraint blowup.
+MAX_CONSTRAINTS = 5000
+
+
+def _prune(constraints: list[Constraint]) -> list[Constraint]:
+    """Drop duplicates and syntactically dominated inequalities.
+
+    Two GE constraints with identical variable terms differ only in the
+    constant; the smaller constant is the tighter constraint.
+    """
+    best: dict[object, Constraint] = {}
+    order: list[object] = []
+    for c in constraints:
+        if c.is_trivial_true():
+            continue
+        key = (c.kind, frozenset(c.expr.terms.items()))
+        prev = best.get(key)
+        if prev is None:
+            best[key] = c
+            order.append(key)
+        elif c.kind is Kind.GE and c.expr.constant < prev.expr.constant:
+            best[key] = c
+        elif c.kind is Kind.EQ and c.expr != prev.expr:
+            # Same terms, different constant: contradictory equalities; keep
+            # both so emptiness is detected downstream.
+            best[key] = prev
+            order.append((key, c.expr.constant))
+            best[(key, c.expr.constant)] = c
+    return [best[k] for k in order]
+
+
+def eliminate(poly: Polyhedron, var: str, *, require_exact: bool = False) -> Polyhedron:
+    """Existentially eliminate dimension *var*.
+
+    Equalities involving *var* are used for substitution when possible (exact
+    for unit coefficients); remaining bounds are combined pairwise.
+    """
+    if var not in poly.variables:
+        raise PolyhedronError(f"{var!r} is not a dimension of {poly!r}")
+    new_vars = tuple(v for v in poly.variables if v != var)
+
+    # Prefer solving an equality for var.
+    for c in poly.constraints:
+        a = c.expr.coeff(var)
+        if c.kind is Kind.EQ and a != 0:
+            if abs(a) != 1 and require_exact:
+                raise CaseSplitError(
+                    f"eliminating {var}: equality coefficient {a} is not unit"
+                )
+            rest = c.expr - LinExpr.var(var, a)
+            replacement = (-rest) / a
+            others = [k for k in poly.constraints if k is not c]
+            substituted = [k.substitute({var: replacement}) for k in others]
+            return Polyhedron(new_vars, _prune(substituted))
+
+    lowers: list[tuple[Fraction, LinExpr]] = []  # (coef>0, expr)
+    uppers: list[tuple[Fraction, LinExpr]] = []  # (coef<0, expr)
+    passthrough: list[Constraint] = []
+    for c in poly.constraints:
+        a = c.expr.coeff(var)
+        if a == 0:
+            passthrough.append(c)
+        elif a > 0:
+            lowers.append((a, c.expr))
+        else:
+            uppers.append((a, c.expr))
+
+    combined: list[Constraint] = list(passthrough)
+    for p, e_lo in lowers:
+        for n, e_up in uppers:
+            if require_exact and p != 1 and -n != 1:
+                raise CaseSplitError(
+                    f"eliminating {var}: bound pair with coefficients {p}, {n}"
+                )
+            new_expr = e_lo * (-n) + e_up * p
+            assert new_expr.coeff(var) == 0
+            combined.append(ge0(new_expr))
+    if len(combined) > MAX_CONSTRAINTS:
+        raise PolyhedronError(
+            f"Fourier–Motzkin blowup eliminating {var}: {len(combined)} constraints"
+        )
+    return Polyhedron(new_vars, _prune(combined))
+
+
+def _cheapest_variable(poly: Polyhedron, candidates: list[str]) -> str:
+    """The candidate whose FM growth estimate (lower*upper bound product,
+    zero when an equality can substitute it away) is smallest."""
+    best_var = candidates[0]
+    best_cost: float | None = None
+    for v in candidates:
+        nlo = nup = neq = 0
+        for c in poly.constraints:
+            a = c.expr.coeff(v)
+            if a == 0:
+                continue
+            if c.kind is Kind.EQ:
+                neq += 1
+            elif a > 0:
+                nlo += 1
+            else:
+                nup += 1
+        cost = 0 if neq else nlo * nup
+        if best_cost is None or cost < best_cost:
+            best_cost = cost
+            best_var = v
+    return best_var
+
+
+def project_onto(
+    poly: Polyhedron, keep: list[str] | tuple[str, ...], *, require_exact: bool = False
+) -> Polyhedron:
+    """Project onto the dimensions in *keep* (order taken from *keep*).
+
+    All other dimensions are existentially eliminated, cheapest-first.
+    Parameters are always kept implicitly.
+    """
+    keep_set = set(keep)
+    unknown = keep_set - set(poly.variables)
+    if unknown:
+        raise PolyhedronError(f"projection targets {sorted(unknown)} are not dimensions")
+    remaining = [v for v in poly.variables if v not in keep_set]
+    current = poly
+    while remaining:
+        var = _cheapest_variable(current, remaining)
+        current = eliminate(current, var, require_exact=require_exact)
+        remaining.remove(var)
+    return current.with_variables(tuple(keep))

@@ -1,0 +1,198 @@
+"""Affine (linear + constant) expressions over named variables.
+
+``LinExpr`` is the canonical affine representation used throughout the
+dependence analysis and code generation: loop bounds, array subscripts,
+dependence-distance objectives and symbolic tile sizes are all ``LinExpr``
+instances over loop variables and problem-size parameters (``N``, ``M``).
+
+Coefficients are :class:`fractions.Fraction` so all arithmetic is exact;
+Fourier–Motzkin elimination divides by coefficients and would be unsound in
+floating point.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from numbers import Rational
+from typing import Mapping, Union
+
+Coef = Union[int, Fraction]
+
+
+def _frac(value: Coef) -> Fraction:
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int) and not isinstance(value, bool):
+        return Fraction(value)
+    if isinstance(value, Rational):
+        return Fraction(value)
+    raise TypeError(f"coefficient must be rational, got {type(value).__name__}")
+
+
+class LinExpr:
+    """An immutable affine expression ``sum(coef[v] * v) + const``.
+
+    Zero coefficients are never stored, so two equal expressions always have
+    identical term dictionaries; this makes ``__eq__``/``__hash__`` cheap and
+    reliable.
+    """
+
+    __slots__ = ("_terms", "_const", "_hash")
+
+    def __init__(self, terms: Mapping[str, Coef] | None = None, const: Coef = 0):
+        items = {}
+        if terms:
+            for var, coef in terms.items():
+                if not isinstance(var, str):
+                    raise TypeError(f"variable name must be str, got {var!r}")
+                f = _frac(coef)
+                if f != 0:
+                    items[var] = f
+        self._terms: dict[str, Fraction] = items
+        self._const: Fraction = _frac(const)
+        self._hash: int | None = None
+
+    # -- constructors -----------------------------------------------------
+    @staticmethod
+    def const(value: Coef) -> "LinExpr":
+        """The constant expression *value*."""
+        return LinExpr({}, value)
+
+    @staticmethod
+    def var(name: str, coef: Coef = 1) -> "LinExpr":
+        """The expression ``coef * name``."""
+        return LinExpr({name: coef}, 0)
+
+    # -- inspection --------------------------------------------------------
+    @property
+    def terms(self) -> dict[str, Fraction]:
+        """Variable -> coefficient mapping (zero coefficients omitted)."""
+        return dict(self._terms)
+
+    @property
+    def constant(self) -> Fraction:
+        """The constant term."""
+        return self._const
+
+    def coeff(self, var: str) -> Fraction:
+        """Coefficient of *var* (0 if absent)."""
+        return self._terms.get(var, Fraction(0))
+
+    def variables(self) -> frozenset[str]:
+        """The set of variables with non-zero coefficient."""
+        return frozenset(self._terms)
+
+    def is_constant(self) -> bool:
+        """True iff no variable appears."""
+        return not self._terms
+
+    def is_integral(self) -> bool:
+        """True iff all coefficients and the constant are integers."""
+        return self._const.denominator == 1 and all(
+            c.denominator == 1 for c in self._terms.values()
+        )
+
+    def depends_on(self, names: frozenset[str] | set[str]) -> bool:
+        """True iff any variable of this expression is in *names*."""
+        return any(v in names for v in self._terms)
+
+    # -- arithmetic ---------------------------------------------------------
+    def __add__(self, other: "LinExpr | Coef") -> "LinExpr":
+        other = _coerce(other)
+        terms = dict(self._terms)
+        for var, coef in other._terms.items():
+            terms[var] = terms.get(var, Fraction(0)) + coef
+        return LinExpr(terms, self._const + other._const)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "LinExpr":
+        return LinExpr({v: -c for v, c in self._terms.items()}, -self._const)
+
+    def __sub__(self, other: "LinExpr | Coef") -> "LinExpr":
+        return self + (-_coerce(other))
+
+    def __rsub__(self, other: "LinExpr | Coef") -> "LinExpr":
+        return _coerce(other) + (-self)
+
+    def __mul__(self, scalar: Coef) -> "LinExpr":
+        f = _frac(scalar)
+        return LinExpr({v: c * f for v, c in self._terms.items()}, self._const * f)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: Coef) -> "LinExpr":
+        f = _frac(scalar)
+        if f == 0:
+            raise ZeroDivisionError("division of LinExpr by zero")
+        return self * (Fraction(1) / f)
+
+    # -- substitution / evaluation ------------------------------------------
+    def substitute(self, bindings: Mapping[str, "LinExpr | Coef"]) -> "LinExpr":
+        """Replace each bound variable by an affine expression."""
+        result = LinExpr({}, self._const)
+        for var, coef in self._terms.items():
+            if var in bindings:
+                result = result + _coerce(bindings[var]) * coef
+            else:
+                result = result + LinExpr.var(var, coef)
+        return result
+
+    def rename(self, mapping: Mapping[str, str]) -> "LinExpr":
+        """Rename variables; unmapped variables keep their names."""
+        terms: dict[str, Fraction] = {}
+        for var, coef in self._terms.items():
+            new = mapping.get(var, var)
+            terms[new] = terms.get(new, Fraction(0)) + coef
+        return LinExpr(terms, self._const)
+
+    def evaluate(self, env: Mapping[str, Coef]) -> Fraction:
+        """Evaluate with every variable bound in *env*."""
+        total = self._const
+        for var, coef in self._terms.items():
+            if var not in env:
+                raise KeyError(f"unbound variable {var!r} in LinExpr.evaluate")
+            total += coef * _frac(env[var])
+        return total
+
+    # -- comparisons / hashing -----------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LinExpr):
+            return NotImplemented
+        return self._const == other._const and self._terms == other._terms
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self._const, frozenset(self._terms.items())))
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"LinExpr({self})"
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        for var in sorted(self._terms):
+            coef = self._terms[var]
+            if coef == 1:
+                parts.append(f"+ {var}")
+            elif coef == -1:
+                parts.append(f"- {var}")
+            elif coef < 0:
+                parts.append(f"- {-coef}*{var}")
+            else:
+                parts.append(f"+ {coef}*{var}")
+        if self._const != 0 or not parts:
+            sign = "-" if self._const < 0 else "+"
+            parts.append(f"{sign} {abs(self._const)}")
+        text = " ".join(parts)
+        if text.startswith("+ "):
+            text = text[2:]
+        elif text.startswith("- "):
+            text = "-" + text[2:]
+        return text
+
+
+def _coerce(value: "LinExpr | Coef") -> LinExpr:
+    if isinstance(value, LinExpr):
+        return value
+    return LinExpr.const(value)

@@ -1,0 +1,32 @@
+"""Symbolic piecewise-affine values: affine expressions combined with
+Min/Max nodes.
+
+Parametric results of polyhedral optimisation (dependence distance bounds
+``d_i``, tile sizes, lexicographic minima) are affine in the program
+parameters except for outer ``min``/``max`` combinations. This package
+provides a tiny expression tree for exactly that shape.
+"""
+
+from repro.symbolic.terms import (
+    SymAffine,
+    SymExpr,
+    SymMax,
+    SymMin,
+    sym_affine,
+    sym_const,
+    sym_max,
+    sym_min,
+    sym_var,
+)
+
+__all__ = [
+    "SymExpr",
+    "SymAffine",
+    "SymMin",
+    "SymMax",
+    "sym_affine",
+    "sym_const",
+    "sym_var",
+    "sym_min",
+    "sym_max",
+]

@@ -1,0 +1,215 @@
+"""Expression tree for piecewise-affine symbolic values.
+
+The grammar is deliberately minimal::
+
+    SymExpr ::= SymAffine(LinExpr)
+              | SymMin(SymExpr, ...)
+              | SymMax(SymExpr, ...)
+
+which is closed under the operations the polyhedral solvers produce
+(``max`` of lower bounds, ``min`` of upper bounds). Construction goes
+through :func:`sym_min` / :func:`sym_max`, which flatten, deduplicate and
+fold constants.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Mapping
+
+from repro.poly.linexpr import Coef, LinExpr
+
+
+class SymExpr:
+    """Base class; use the module-level constructors."""
+
+    def evaluate(self, env: Mapping[str, Coef]) -> Fraction:
+        """Numeric value under a full parameter binding."""
+        raise NotImplementedError
+
+    def evaluate_int(self, env: Mapping[str, Coef]) -> int:
+        """Evaluate and require an integral result."""
+        v = self.evaluate(env)
+        if v.denominator != 1:
+            raise ValueError(f"{self} evaluates to non-integer {v}")
+        return int(v)
+
+    def parameters(self) -> frozenset[str]:
+        """Free names of the expression."""
+        raise NotImplementedError
+
+    def substitute(self, bindings: Mapping[str, LinExpr | Coef]) -> "SymExpr":
+        """Substitute parameters by affine expressions."""
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        raise NotImplementedError
+
+    def __hash__(self) -> int:
+        raise NotImplementedError
+
+
+class SymAffine(SymExpr):
+    """A plain affine expression."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: LinExpr):
+        self.expr = expr
+
+    def evaluate(self, env: Mapping[str, Coef]) -> Fraction:
+        return self.expr.evaluate(env)
+
+    def parameters(self) -> frozenset[str]:
+        return self.expr.variables()
+
+    def substitute(self, bindings: Mapping[str, LinExpr | Coef]) -> "SymAffine":
+        return SymAffine(self.expr.substitute(bindings))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SymAffine) and self.expr == other.expr
+
+    def __hash__(self) -> int:
+        return hash(("affine", self.expr))
+
+    def __repr__(self) -> str:
+        return f"SymAffine({self.expr})"
+
+    def __str__(self) -> str:
+        return str(self.expr)
+
+
+class _SymNary(SymExpr):
+    """Shared behaviour of Min/Max nodes."""
+
+    __slots__ = ("args",)
+    _name = "?"
+
+    def __init__(self, args: tuple[SymExpr, ...]):
+        if len(args) < 2:
+            raise ValueError(f"{type(self).__name__} needs >= 2 arguments")
+        self.args = args
+
+    def _combine(self, values: Iterable[Fraction]) -> Fraction:
+        raise NotImplementedError
+
+    def evaluate(self, env: Mapping[str, Coef]) -> Fraction:
+        return self._combine(a.evaluate(env) for a in self.args)
+
+    def parameters(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for a in self.args:
+            out |= a.parameters()
+        return out
+
+    def substitute(self, bindings: Mapping[str, LinExpr | Coef]) -> SymExpr:
+        new = [a.substitute(bindings) for a in self.args]
+        return sym_min(new) if isinstance(self, SymMin) else sym_max(new)
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is type(self) and set(other.args) == set(self.args)
+
+    def __hash__(self) -> int:
+        return hash((self._name, frozenset(self.args)))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({', '.join(map(repr, self.args))})"
+
+    def __str__(self) -> str:
+        return f"{self._name}({', '.join(map(str, self.args))})"
+
+
+class SymMin(_SymNary):
+    """Minimum of its arguments."""
+
+    _name = "min"
+
+    def _combine(self, values: Iterable[Fraction]) -> Fraction:
+        return min(values)
+
+
+class SymMax(_SymNary):
+    """Maximum of its arguments."""
+
+    _name = "max"
+
+    def _combine(self, values: Iterable[Fraction]) -> Fraction:
+        return max(values)
+
+
+def sym_const(value: Coef) -> SymAffine:
+    """Constant symbolic value."""
+    return SymAffine(LinExpr.const(value))
+
+
+def sym_var(name: str) -> SymAffine:
+    """A single parameter."""
+    return SymAffine(LinExpr.var(name))
+
+
+def sym_affine(expr: LinExpr) -> SymAffine:
+    """Wrap a :class:`LinExpr`."""
+    return SymAffine(expr)
+
+
+def _flatten(args: Iterable[SymExpr | LinExpr | int], node: type) -> list[SymExpr]:
+    out: list[SymExpr] = []
+    for a in args:
+        if isinstance(a, LinExpr):
+            a = SymAffine(a)
+        elif isinstance(a, int):
+            a = sym_const(a)
+        if not isinstance(a, SymExpr):
+            raise TypeError(f"expected SymExpr/LinExpr/int, got {type(a).__name__}")
+        if isinstance(a, node):
+            out.extend(a.args)
+        else:
+            out.append(a)
+    return out
+
+
+def _fold(args: list[SymExpr], pick_const) -> list[SymExpr]:
+    """Deduplicate; fold all constants into one; drop affine duplicates that
+    differ only in the constant (keep the one *pick_const* selects)."""
+    consts: list[Fraction] = []
+    by_terms: dict[frozenset, LinExpr] = {}
+    others: list[SymExpr] = []
+    seen_other: set[SymExpr] = set()
+    for a in args:
+        if isinstance(a, SymAffine):
+            e = a.expr
+            if e.is_constant():
+                consts.append(e.constant)
+                continue
+            key = frozenset(e.terms.items())
+            prev = by_terms.get(key)
+            if prev is None or pick_const(e.constant, prev.constant) == e.constant:
+                by_terms[key] = e
+        elif a not in seen_other:
+            seen_other.add(a)
+            others.append(a)
+    out: list[SymExpr] = [SymAffine(e) for e in by_terms.values()]
+    out.extend(others)
+    if consts:
+        out.append(sym_const(pick_const(*consts) if len(consts) > 1 else consts[0]))
+    return out
+
+
+def sym_min(args: Iterable[SymExpr | LinExpr | int]) -> SymExpr:
+    """Simplifying n-ary minimum."""
+    flat = _fold(_flatten(args, SymMin), min)
+    if not flat:
+        raise ValueError("sym_min of no arguments")
+    if len(flat) == 1:
+        return flat[0]
+    return SymMin(tuple(flat))
+
+
+def sym_max(args: Iterable[SymExpr | LinExpr | int]) -> SymExpr:
+    """Simplifying n-ary maximum."""
+    flat = _fold(_flatten(args, SymMax), max)
+    if not flat:
+        raise ValueError("sym_max of no arguments")
+    if len(flat) == 1:
+        return flat[0]
+    return SymMax(tuple(flat))

@@ -1,0 +1,16 @@
+"""Tile-size selection algorithms (paper Sec. 4).
+
+- :mod:`repro.tilesize.lrw` — Wolf & Lam's LRW: the largest square tile
+  whose self-interference misses for one array reference are minimised.
+- :mod:`repro.tilesize.pdat` — Panda et al.'s PDAT: the fixed size
+  ``sqrt((K-1)/K * C)`` elements for a K-way cache of capacity C.
+
+The paper found both selections to "almost always coincide" on its
+machine and reports PDAT-only results; the experiment harness defaults to
+PDAT, with LRW available for the ablation benchmark.
+"""
+
+from repro.tilesize.lrw import lrw_tile
+from repro.tilesize.pdat import pdat_tile
+
+__all__ = ["lrw_tile", "pdat_tile"]

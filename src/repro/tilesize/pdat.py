@@ -1,0 +1,24 @@
+"""PDAT tile-size selection (Panda, Nakamura, Dutt & Nicolau, 1999).
+
+The paper's description: use the fixed tile size ``sqrt((K-1)/K * C)``
+where ``C`` is the data-cache capacity and ``K`` its associativity —
+independent of the problem size. We interpret ``C`` in *elements* of the
+tiled array's type (the paper tiles double arrays for the L1 cache).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import MachineError
+from repro.machine.cache import CacheConfig
+
+
+def pdat_tile(cache: CacheConfig, *, element_bytes: int = 8) -> int:
+    """Square tile edge for *cache* (at least 2)."""
+    if element_bytes <= 0:
+        raise MachineError("element_bytes must be positive")
+    capacity = cache.size_bytes / element_bytes
+    k = cache.assoc
+    edge = int(math.sqrt((k - 1) / k * capacity)) if k > 1 else int(math.sqrt(capacity / 2))
+    return max(edge, 2)

@@ -1,0 +1,76 @@
+"""Automatic embedding derivation for fusion.
+
+The paper notes (Sec. 3.1) that the placement of the smaller nests inside
+the common iteration space "may not be critical" — any placement works
+because FixDeps repairs whatever the choice violates. This module encodes
+the boundary-placement heuristic all four paper kernels follow:
+
+- each item's loops map **positionally to the innermost fused dimensions**
+  (a depth-``d`` item occupies the last ``d`` fused loops, outermost
+  first);
+- every remaining (leading) fused dimension is pinned to its **lower
+  bound** — the fused space's boundary.
+
+Under this rule the derived embeddings for LU, QR, Cholesky and Jacobi
+coincide (up to equivalent placement algebra) with the hand-written
+Figure-3 embeddings, which the test suite checks by program equivalence.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import TransformError
+from repro.ir.analysis import as_perfect_nest
+from repro.ir.expr import Expr
+from repro.ir.program import Program
+from repro.ir.stmt import Loop, Stmt
+from repro.trans.fusion import NestEmbedding, fuse_siblings
+from repro.trans.model import FusedNest
+from repro.trans.sinking import sink_guards
+
+
+def derive_embedding(
+    item: Stmt, fused_loops: Sequence[tuple[str, Expr, Expr]]
+) -> NestEmbedding:
+    """The boundary embedding for one item (see module docstring)."""
+    nest = as_perfect_nest(sink_guards(item))
+    fused_vars = [v for v, _, _ in fused_loops]
+    if nest.depth > len(fused_vars):
+        raise TransformError(
+            f"item of depth {nest.depth} cannot embed into "
+            f"{len(fused_vars)} fused dimensions"
+        )
+    tail = fused_vars[len(fused_vars) - nest.depth :]
+    var_map = dict(zip(nest.loop_vars, tail))
+    placement = {
+        v: lo
+        for (v, lo, _hi) in fused_loops[: len(fused_vars) - nest.depth]
+    }
+    return NestEmbedding(var_map=var_map, placement=placement)
+
+
+def auto_fuse(
+    program: Program,
+    fused_loops: Sequence[tuple[str, Expr, Expr]],
+    *,
+    context_depth: int = 0,
+    epilogue_from: int | None = None,
+) -> FusedNest:
+    """:func:`fuse_siblings` with embeddings derived automatically."""
+    top = list(program.body)
+    if epilogue_from is not None:
+        top = top[:epilogue_from]
+    items: list[Stmt] = top
+    for _ in range(context_depth):
+        if len(items) != 1 or not isinstance(items[0], Loop):
+            raise TransformError("context loop chain malformed")
+        items = list(items[0].body)
+    embeddings = [derive_embedding(item, fused_loops) for item in items]
+    return fuse_siblings(
+        program,
+        fused_loops,
+        embeddings,
+        context_depth=context_depth,
+        epilogue_from=epilogue_from,
+    )

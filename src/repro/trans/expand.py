@@ -1,0 +1,79 @@
+"""Scalar expansion.
+
+A scalar whose live range crosses iterations of a loop blocks reordering
+transformations on that loop: every iteration fights over one memory cell.
+Expanding the scalar into an array indexed by the loop variable removes the
+false dependences (Feautrier's array expansion, the paper's ref. [5]).
+
+LU needs this for the final tiling step: the pivot row ``m`` is produced by
+step ``k``'s search and consumed by step ``k``'s lazy column swaps; once the
+``k`` point loop moves inside ``j``, searches of different steps interleave
+with the swaps, so ``m`` must become ``m_x(k)``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TransformError
+from repro.ir.expr import ArrayRef, Expr, VarRef, as_expr, map_expr
+from repro.ir.program import ArrayDecl, Program
+from repro.ir.stmt import If, Loop, Stmt, map_stmt_exprs
+from repro.utils.naming import NameGenerator
+
+
+def expand_scalar(
+    program: Program,
+    scalar: str,
+    loop_var: str,
+    extent: Expr | int,
+    *,
+    array_name: str | None = None,
+) -> Program:
+    """Replace *scalar* by ``array(loop_var)`` inside loops over *loop_var*.
+
+    Occurrences outside any ``do loop_var`` (e.g. a peeled epilogue) keep
+    using the scalar — they are separate live ranges by construction.
+    """
+    if not program.has_scalar(scalar):
+        raise TransformError(f"{program.name} has no scalar {scalar!r}")
+    namer = NameGenerator(program.all_names())
+    name = array_name or namer.fresh(f"{scalar}_x")
+
+    def rewrite_expr(expr: Expr) -> Expr:
+        def fn(node: Expr) -> Expr:
+            if isinstance(node, VarRef) and node.name == scalar:
+                return ArrayRef(name, (VarRef(loop_var),))
+            return node
+
+        return map_expr(expr, fn)
+
+    def rewrite(stmt: Stmt, inside: bool) -> Stmt:
+        if isinstance(stmt, Loop):
+            now_inside = inside or stmt.var == loop_var
+            return Loop(
+                stmt.var,
+                stmt.lower if not inside else rewrite_expr(stmt.lower),
+                stmt.upper if not inside else rewrite_expr(stmt.upper),
+                tuple(rewrite(s, now_inside) for s in stmt.body),
+                stmt.step,
+            )
+        if not inside:
+            if isinstance(stmt, If):
+                return If(
+                    stmt.cond,
+                    tuple(rewrite(s, inside) for s in stmt.then),
+                    tuple(rewrite(s, inside) for s in stmt.orelse),
+                )
+            return stmt
+        return map_stmt_exprs(stmt, rewrite_expr)
+
+    body = tuple(rewrite(s, False) for s in program.body)
+    decl = ArrayDecl(name, (as_expr(extent),), program.scalar(scalar).dtype)
+    out = Program(
+        program.name,
+        program.params,
+        program.arrays + (decl,),
+        program.scalars,
+        body,
+        program.outputs,
+    )
+    return out

@@ -1,0 +1,99 @@
+"""Classic loop fusion of adjacent nests (the dependence-preserving kind).
+
+The paper's opening observation is that plain fusion "is mostly
+dependence-preserving and thus frequently inapplicable". This module is
+that plain fusion: merge two adjacent same-shape nests *only when legal*,
+deciding legality with the same violated-dependence machinery FixDeps uses
+— the counterpart of :mod:`repro.trans.distribution`, and the baseline
+that motivates FixDeps (when :func:`try_fuse_adjacent` returns ``None``,
+FixDeps is the paper's answer).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.deps.access import ValueRange
+from repro.deps.fusionpreventing import violated_dependences
+from repro.errors import TransformError
+from repro.ir.analysis import as_perfect_nest
+from repro.ir.program import Program
+from repro.ir.stmt import Loop
+from repro.trans.fusion import NestEmbedding, fuse_siblings
+
+
+def _compatible(a: Loop, b: Loop) -> bool:
+    na, nb = as_perfect_nest(a), as_perfect_nest(b)
+    if na.depth == 0 or na.depth != nb.depth:
+        return False
+    for la, lb in zip(na.loops, nb.loops):
+        if la.lower != lb.lower or la.upper != lb.upper:
+            return False
+        if not (la.has_unit_step and lb.has_unit_step):
+            return False
+    return True
+
+
+def try_fuse_adjacent(
+    program: Program,
+    index: int = 0,
+    *,
+    value_ranges: Mapping[str, ValueRange] | None = None,
+    param_lo: int | Mapping[str, int] = 4,
+) -> Program | None:
+    """Fuse ``body[index]`` and ``body[index+1]`` when provably legal.
+
+    Returns the fused program, or ``None`` when the nests are incompatible
+    or the fusion would violate a dependence (the paper's
+    "fusion-preventing" case — hand those to FixDeps instead).
+    """
+    body = list(program.body)
+    if not (0 <= index < len(body) - 1):
+        raise TransformError(f"no adjacent pair at index {index}")
+    a, b = body[index], body[index + 1]
+    if not (isinstance(a, Loop) and isinstance(b, Loop) and _compatible(a, b)):
+        return None
+
+    nest_a = as_perfect_nest(a)
+    pair = program.with_body((a, b))
+    fused_loops = [(l.var, l.lower, l.upper) for l in nest_a.loops]
+    var_map_b = {
+        vb: va
+        for vb, va in zip(as_perfect_nest(b).loop_vars, nest_a.loop_vars)
+    }
+    try:
+        nest = fuse_siblings(
+            pair,
+            fused_loops,
+            [
+                NestEmbedding(var_map={v: v for v in nest_a.loop_vars}),
+                NestEmbedding(var_map=var_map_b),
+            ],
+        )
+    except TransformError:
+        return None
+    if violated_dependences(nest, value_ranges=value_ranges, param_lo=param_lo):
+        return None
+    fused_stmt = nest.to_program().body
+    new_body = body[:index] + list(fused_stmt) + body[index + 2 :]
+    return program.with_body(tuple(new_body)).with_name(f"{program.name}_fused")
+
+
+def fuse_all_legal(
+    program: Program,
+    *,
+    value_ranges: Mapping[str, ValueRange] | None = None,
+    param_lo: int | Mapping[str, int] = 4,
+) -> Program:
+    """Greedily fuse every legal adjacent pair, left to right."""
+    current = program
+    index = 0
+    while index < len(current.body) - 1:
+        fused = try_fuse_adjacent(
+            current, index, value_ranges=value_ranges, param_lo=param_lo
+        )
+        if fused is None:
+            index += 1
+        else:
+            current = fused
+    return current.with_name(f"{program.name}_fused")

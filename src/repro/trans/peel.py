@@ -1,0 +1,42 @@
+"""Loop peeling.
+
+The paper peels the last iteration of LU's ``k`` loop before fusing (the
+final pivot search runs without a trailing update). ``peel_last`` splits
+``do v = lo, hi`` into ``do v = lo, hi-1`` plus the body at ``v = hi``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TransformError
+from repro.ir.expr import BinOp, Const, Expr, VarRef, map_expr
+from repro.ir.stmt import Loop, Stmt, map_stmt_exprs
+
+
+def substitute_var(stmt: Stmt, var: str, value: Expr) -> Stmt:
+    """Replace every reference to *var* in *stmt* with *value*."""
+
+    def rewrite(expr: Expr) -> Expr:
+        def fn(node: Expr) -> Expr:
+            if isinstance(node, VarRef) and node.name == var:
+                return value
+            return node
+
+        return map_expr(expr, fn)
+
+    return map_stmt_exprs(stmt, rewrite)
+
+
+def peel_last(loop: Loop) -> tuple[Loop, tuple[Stmt, ...]]:
+    """Split off the final iteration; caller must know the range is
+    non-empty (the peeled statements execute unconditionally)."""
+    if not loop.has_unit_step:
+        raise TransformError("peel_last requires a unit-step loop")
+    shortened = Loop(
+        loop.var,
+        loop.lower,
+        BinOp("-", loop.upper, Const(1)),
+        loop.body,
+        loop.step,
+    )
+    peeled = tuple(substitute_var(s, loop.var, loop.upper) for s in loop.body)
+    return shortened, peeled

@@ -1,0 +1,70 @@
+"""Skewing + permutation for stencil time tiling (the paper's Jacobi
+treatment, Sec. 4).
+
+For the fused Jacobi nest ``(t, i, j)`` the paper skews the space loops by
+the time loop and then permutes time innermost, so the temporal reuse the
+time loop carries can be exploited by tiling. The composite map is one
+unimodular matrix; :func:`skew_and_permute` builds it and delegates to
+:mod:`repro.trans.unimodular`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import TransformError
+from repro.ir.program import Program
+from repro.trans.unimodular import unimodular_transform
+
+
+def skew_matrix(
+    depth: int, skews: Mapping[int, Mapping[int, int]]
+) -> list[list[int]]:
+    """Identity plus skew factors: ``skews[r][c] = f`` adds ``f * x_c`` to
+    dimension ``r`` (0-based)."""
+    U = [[1 if r == c else 0 for c in range(depth)] for r in range(depth)]
+    for r, row in skews.items():
+        for c, f in row.items():
+            if r == c:
+                raise TransformError("diagonal skew factors are not allowed")
+            U[r][c] = f
+    return U
+
+
+def permutation_matrix(order: Sequence[int]) -> list[list[int]]:
+    """Rows of the identity permuted: new dim r = old dim ``order[r]``."""
+    n = len(order)
+    if sorted(order) != list(range(n)):
+        raise TransformError(f"{order} is not a permutation of 0..{n - 1}")
+    return [[1 if c == order[r] else 0 for c in range(n)] for r in range(n)]
+
+
+def matmul(A: Sequence[Sequence[int]], B: Sequence[Sequence[int]]) -> list[list[int]]:
+    """Integer matrix product."""
+    n, m, p = len(A), len(B), len(B[0])
+    if any(len(row) != m for row in A):
+        raise TransformError("matrix dimension mismatch")
+    return [
+        [sum(A[r][k] * B[k][c] for k in range(m)) for c in range(p)] for r in range(n)
+    ]
+
+
+def skew_and_permute(
+    program: Program,
+    *,
+    skews: Mapping[int, Mapping[int, int]],
+    order: Sequence[int],
+    nest_index: int = 0,
+    new_names: Sequence[str] | None = None,
+    name: str | None = None,
+) -> Program:
+    """Skew then permute one perfect nest (both 0-based over loop depth).
+
+    Example (Jacobi): ``skews={1: {0: 1}, 2: {0: 1}}`` skews both space
+    loops by time; ``order=(1, 2, 0)`` then moves time innermost.
+    """
+    depth = len(order)
+    U = matmul(permutation_matrix(order), skew_matrix(depth, skews))
+    return unimodular_transform(
+        program, U, nest_index=nest_index, new_names=new_names, name=name
+    )

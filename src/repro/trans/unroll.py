@@ -1,0 +1,176 @@
+"""Loop unrolling and unroll-and-jam.
+
+The paper (Sec. 1) observes that loop tiling "subsumes loop unrolling and
+unroll-and-jam [17]": a tile of size ``u`` whose point loop is fully
+unrolled *is* unroll-and-jam by ``u``. These passes make the subsumption
+concrete — and give the benchmark suite a register-blocking baseline.
+
+- :func:`unroll_program` — replicate a loop's body ``factor`` times; a
+  fresh scalar tracks where the stepped main loop stopped so the remainder
+  loop needs no modulo arithmetic;
+- :func:`unroll_and_jam_program` — strip-mine an outer loop and fully
+  unroll the point loop *inside* the inner loops, with per-copy boundary
+  guards (the tiling-subsumption construction).
+
+Legality of unroll-and-jam equals interchangeability of the jammed band
+(provable via :func:`repro.trans.legality.fully_permutable`); all uses are
+additionally execution-validated by the tests.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TransformError
+from repro.ir.builder import cle
+from repro.ir.expr import BinOp, Const, Expr, VarRef
+from repro.ir.program import Program, ScalarDecl
+from repro.ir.stmt import Assign, If, Loop, Stmt
+from repro.trans.peel import substitute_var
+from repro.utils.naming import NameGenerator
+
+
+def _shifted(var: str, offset: int) -> Expr:
+    if offset == 0:
+        return VarRef(var)
+    return BinOp("+", VarRef(var), Const(offset))
+
+
+def unroll(
+    loop: Loop, factor: int, namer: NameGenerator
+) -> tuple[list[Stmt], str]:
+    """Unroll *loop* by *factor*.
+
+    Returns ``(statements, cursor_scalar_name)``: the statements are the
+    cursor initialisation, the stepped main loop (body replicated at
+    offsets ``0..factor-1``, cursor updated), and the remainder loop
+    starting at the cursor. The caller must declare the returned scalar
+    (``i8``); :func:`unroll_program` does all of that.
+    """
+    if factor < 1:
+        raise TransformError("unroll factor must be >= 1")
+    if not loop.has_unit_step:
+        raise TransformError("unroll requires a unit-step loop")
+    cursor = namer.fresh(f"{loop.var}_next")
+    if factor == 1:
+        return [loop], cursor  # degenerate; cursor unused but declared
+
+    var = loop.var
+    body: list[Stmt] = []
+    for off in range(factor):
+        shifted = _shifted(var, off)
+        for stmt in loop.body:
+            body.append(substitute_var(stmt, var, shifted))
+    body.append(Assign(VarRef(cursor), BinOp("+", VarRef(var), Const(factor))))
+    main = Loop(
+        var,
+        loop.lower,
+        BinOp("-", loop.upper, Const(factor - 1)),
+        body,
+        Const(factor),
+    )
+    remainder = Loop(var, VarRef(cursor), loop.upper, loop.body)
+    init = Assign(VarRef(cursor), loop.lower)
+    return [init, main, remainder], cursor
+
+
+def unroll_program(
+    program: Program, loop_var: str, factor: int, *, name: str | None = None
+) -> Program:
+    """Unroll the first loop over *loop_var* found in the program body."""
+    namer = NameGenerator(program.all_names())
+    cursor_holder: list[str] = []
+
+    def rewrite(stmts: tuple[Stmt, ...]) -> tuple[Stmt, ...]:
+        out: list[Stmt] = []
+        for s in stmts:
+            if isinstance(s, Loop):
+                if s.var == loop_var and not cursor_holder:
+                    replacement, cursor = unroll(s, factor, namer)
+                    cursor_holder.append(cursor)
+                    out.extend(replacement)
+                else:
+                    out.append(Loop(s.var, s.lower, s.upper, rewrite(s.body), s.step))
+            elif isinstance(s, If):
+                out.append(If(s.cond, rewrite(s.then), rewrite(s.orelse)))
+            else:
+                out.append(s)
+        return tuple(out)
+
+    body = rewrite(program.body)
+    if not cursor_holder:
+        raise TransformError(f"no loop over {loop_var!r} found")
+    out = program.adding_scalars([ScalarDecl(cursor_holder[0], "i8")])
+    out = out.with_body(body)
+    return out.with_name(name or f"{program.name}_unroll{factor}")
+
+
+def unroll_and_jam(
+    nest: Loop, factor: int, *, reserved: frozenset[str] = frozenset()
+) -> Stmt:
+    """Unroll-and-jam the outer loop of a (at least 2-deep) perfect pair.
+
+    Construction: strip-mine the outer loop by *factor*; the point loop is
+    fully unrolled *inside* the inner loop body as ``factor`` copies, each
+    guarded by the boundary condition ``outer + off <= upper`` (the guard
+    is trivially true except in the last partial tile).
+    """
+    if factor < 1:
+        raise TransformError("jam factor must be >= 1")
+    if factor == 1:
+        return nest
+    if not nest.has_unit_step:
+        raise TransformError("unroll_and_jam requires a unit-step outer loop")
+    if len(nest.body) != 1 or not isinstance(nest.body[0], Loop):
+        raise TransformError("unroll_and_jam needs a perfectly nested pair")
+    inner = nest.body[0]
+    var = nest.var
+    from repro.ir.expr import free_names
+
+    if var in free_names(inner.lower) | free_names(inner.upper):
+        raise TransformError(
+            "unroll_and_jam: inner bounds depend on the jammed loop "
+            "(triangular jam would need per-copy ranges)"
+        )
+
+    jammed: list[Stmt] = []
+    for off in range(factor):
+        shifted = _shifted(var, off)
+        copies = [substitute_var(s, var, shifted) for s in inner.body]
+        if off == 0:
+            jammed.extend(copies)
+        else:
+            jammed.append(If(cle(shifted, nest.upper), copies))
+    new_inner = Loop(inner.var, inner.lower, inner.upper, jammed, inner.step)
+    return Loop(var, nest.lower, nest.upper, (new_inner,), Const(factor))
+
+
+def unroll_and_jam_program(
+    program: Program, loop_var: str, factor: int, *, name: str | None = None
+) -> Program:
+    """Unroll-and-jam the first loop over *loop_var* in the program body."""
+    done: list[bool] = []
+
+    def rewrite(stmts: tuple[Stmt, ...]) -> tuple[Stmt, ...]:
+        out: list[Stmt] = []
+        for s in stmts:
+            if isinstance(s, Loop):
+                if s.var == loop_var and not done:
+                    done.append(True)
+                    out.append(
+                        unroll_and_jam(
+                            s, factor, reserved=frozenset(program.all_names())
+                        )
+                    )
+                else:
+                    out.append(Loop(s.var, s.lower, s.upper, rewrite(s.body), s.step))
+            elif isinstance(s, If):
+                out.append(If(s.cond, rewrite(s.then), rewrite(s.orelse)))
+            else:
+                out.append(s)
+        return tuple(out)
+
+    body = rewrite(program.body)
+    if not done:
+        raise TransformError(f"no loop over {loop_var!r} found")
+    return program.with_body(body).with_name(
+        name or f"{program.name}_jam{factor}"
+    )

@@ -1,0 +1,60 @@
+"""Plain-text table rendering for experiment reports.
+
+The experiment harness prints the same rows/series the paper reports; this
+module renders them as aligned monospace tables suitable for terminals and
+for inclusion in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+
+def _fmt_cell(value: Any, float_fmt: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str | None = None,
+    float_fmt: str = ".3f",
+) -> str:
+    """Render *rows* under *headers* as an aligned ASCII table.
+
+    Numeric columns are right-aligned; text columns left-aligned. Floats are
+    formatted with *float_fmt*.
+    """
+    cells = [[_fmt_cell(v, float_fmt) for v in row] for row in rows]
+    ncol = len(headers)
+    for i, row in enumerate(cells):
+        if len(row) != ncol:
+            raise ValueError(f"row {i} has {len(row)} cells, expected {ncol}")
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in cells)) if cells else len(headers[c])
+        for c in range(ncol)
+    ]
+    numeric = [
+        bool(rows) and all(isinstance(r[c], (int, float)) for r in rows)
+        for c in range(ncol)
+    ]
+
+    def fmt_row(row: Sequence[str]) -> str:
+        parts = []
+        for c, cell in enumerate(row):
+            parts.append(cell.rjust(widths[c]) if numeric[c] else cell.ljust(widths[c]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(r) for r in cells)
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Lightweight wall-clock timing for experiment harnesses.
+
+Following the optimisation workflow of the scientific-Python guides: measure
+before and while optimising. These helpers are deliberately tiny — they are
+for coarse per-experiment accounting, not micro-benchmarks (pytest-benchmark
+handles those).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """Context-manager stopwatch accumulating elapsed seconds.
+
+    >>> t = Timer()
+    >>> with t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _start: float | None = field(default=None, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        assert self._start is not None, "Timer.__exit__ without __enter__"
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+
+    def reset(self) -> None:
+        """Zero the accumulated time."""
+        self.elapsed = 0.0
+        self._start = None
+
+
+class StageTimes:
+    """Named stage timers for multi-phase pipelines (analysis, codegen, sim)."""
+
+    def __init__(self) -> None:
+        self._timers: dict[str, Timer] = {}
+
+    def stage(self, name: str) -> Timer:
+        """Return (creating if needed) the timer for *name*."""
+        return self._timers.setdefault(name, Timer())
+
+    def summary(self) -> dict[str, float]:
+        """Elapsed seconds per stage, insertion-ordered."""
+        return {name: t.elapsed for name, t in self._timers.items()}

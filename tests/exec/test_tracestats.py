@@ -1,0 +1,79 @@
+"""Unit tests for per-array trace statistics."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.exec.compiled import CompiledProgram, run_compiled
+from repro.exec.tracestats import footprint_bytes, trace_statistics
+from repro.ir.builder import assign, idx, loop, sym
+from repro.ir.program import ArrayDecl, Program
+
+N, i = sym("N"), sym("i")
+
+
+def copy_program() -> Program:
+    body = loop("i", 1, N, [assign(idx("B", i), idx("A", i) * 2.0)])
+    return Program(
+        "cp", ("N",), (ArrayDecl("A", (N,)), ArrayDecl("B", (N,))), (), (body,)
+    )
+
+
+def traced(program, params):
+    return CompiledProgram(program, trace=True).run(params)
+
+
+class TestTraceStatistics:
+    def test_loads_and_stores_attributed(self):
+        run = traced(copy_program(), {"N": 10})
+        stats = trace_statistics(run)
+        assert stats["A"].loads == 10 and stats["A"].stores == 0
+        assert stats["B"].loads == 0 and stats["B"].stores == 10
+
+    def test_distinct_elements(self):
+        run = traced(copy_program(), {"N": 10})
+        stats = trace_statistics(run)
+        assert stats["A"].distinct_elements == 10
+        assert stats["B"].distinct_elements == 10
+
+    def test_reuse_factor(self):
+        body = loop(
+            "i", 1, N, [assign(idx("B", sym("i")), idx("A", 1) * 1.0)]
+        )
+        p = Program(
+            "r", ("N",), (ArrayDecl("A", (N,)), ArrayDecl("B", (N,))), (), (body,)
+        )
+        stats = trace_statistics(traced(p, {"N": 8}))
+        assert stats["A"].reuse_factor == 8.0
+
+    def test_untouched_array(self):
+        p = Program(
+            "u",
+            ("N",),
+            (ArrayDecl("A", (N,)), ArrayDecl("Z", (N,))),
+            (),
+            (assign(idx("A", 1), 0.0),),
+        )
+        stats = trace_statistics(traced(p, {"N": 4}))
+        assert stats["Z"].accesses == 0
+
+    def test_footprint(self):
+        run = traced(copy_program(), {"N": 10})
+        assert footprint_bytes(run) == 20 * 8
+
+    def test_requires_trace(self):
+        run = run_compiled(copy_program(), {"N": 4})
+        with pytest.raises(ExecutionError):
+            trace_statistics(run)
+
+    def test_jacobi_fusion_cuts_l_traffic(self):
+        from repro.kernels import jacobi
+
+        params = {"N": 12, "M": 2}
+        inputs = jacobi.make_inputs(params)
+        seq = traced(jacobi.sequential(), params)
+        stats = trace_statistics(seq)
+        assert stats["L"].loads > 0 and stats["L"].stores > 0
+        fixed = traced(jacobi.fixed(), params)
+        fixed_stats = trace_statistics(fixed)
+        assert "L" not in fixed_stats  # scalarised away
+        assert "H_A" in fixed_stats

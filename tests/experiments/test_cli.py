@@ -1,0 +1,60 @@
+"""End-to-end CLI tests for ``python -m repro.experiments``."""
+
+import subprocess
+import sys
+
+import pytest
+
+
+def run_cli(*args: str, env_extra: dict | None = None) -> str:
+    import os
+
+    env = dict(os.environ)
+    env.update(
+        {
+            "REPRO_NO_CACHE": "1",
+            "REPRO_SIZES": "12",
+            **(env_extra or {}),
+        }
+    )
+    out = subprocess.run(
+        [sys.executable, "-m", "repro.experiments", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+    )
+    assert out.returncode == 0, out.stderr
+    return out.stdout
+
+
+class TestCLI:
+    def test_table1(self):
+        text = run_cli("table1")
+        assert "matches the paper's Table 1" in text
+
+    def test_figure5_tiny(self):
+        text = run_cli("figure5")
+        assert "Figure 5" in text
+        assert "speedup ranges" in text
+
+    def test_figure6_tiny(self):
+        text = run_cli("figure6")
+        assert "Figure 6" in text
+
+    def test_jacobi_tiny(self):
+        text = run_cli("jacobi")
+        assert "Jacobi in-text statistics" in text
+
+    def test_output_dir(self, tmp_path):
+        text = run_cli("table1", "--output", str(tmp_path))
+        assert (tmp_path / "figure5.csv").exists()
+        assert "wrote figure5" in text
+
+    def test_bad_target_rejected(self):
+        out = subprocess.run(
+            [sys.executable, "-m", "repro.experiments", "figure99"],
+            capture_output=True,
+            text=True,
+        )
+        assert out.returncode != 0

@@ -1,0 +1,122 @@
+"""Tests for the experiment harness (tiny sizes to stay fast)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments import default_config
+from repro.experiments.runner import measure_variant, run_pair
+from repro.experiments.sweep import SweepConfig
+from repro.machine.configs import octane2_scaled
+
+
+@pytest.fixture(scope="module")
+def tiny_config() -> SweepConfig:
+    return SweepConfig(
+        machine=octane2_scaled(), sizes=(12, 16), jacobi_m=3, tile_policy="pdat"
+    )
+
+
+class TestSweepConfig:
+    def test_default_config_scaled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL_MACHINE", raising=False)
+        monkeypatch.delenv("REPRO_SIZES", raising=False)
+        monkeypatch.delenv("REPRO_FULL_SWEEP", raising=False)
+        cfg = default_config()
+        assert cfg.machine.name == "octane2-scaled"
+        assert len(cfg.sizes) >= 4
+
+    def test_env_sizes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIZES", "10,20")
+        assert default_config().sizes == (10, 20)
+
+    def test_tile_policies(self, tiny_config):
+        assert tiny_config.tile_for(16) == 11
+        lrw = replace(tiny_config, tile_policy="lrw")
+        assert lrw.tile_for(16) >= 2
+        fixed = replace(tiny_config, tile_policy="fixed:7")
+        assert fixed.tile_for(16) == 7
+        bad = replace(tiny_config, tile_policy="magic")
+        with pytest.raises(ValueError):
+            bad.tile_for(16)
+
+
+class TestRunner:
+    def test_measure_variant_all_kernels(self, tiny_config):
+        for kernel in ("cholesky", "jacobi"):
+            m = measure_variant(kernel, "seq", 12, tiny_config)
+            assert m.report.accesses > 0
+            assert m.report.total_cycles > 0
+
+    def test_memoisation_returns_same_object(self, tiny_config):
+        a = measure_variant("cholesky", "seq", 12, tiny_config)
+        b = measure_variant("cholesky", "seq", 12, tiny_config)
+        assert a is b
+
+    def test_run_pair_speedup_positive(self, tiny_config):
+        seq, tiled, speedup = run_pair("jacobi", 16, tiny_config)
+        assert speedup > 0
+        assert tiled.tile == 11
+
+    def test_unknown_variant(self, tiny_config):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            measure_variant("jacobi", "bogus", 12, tiny_config)
+
+
+class TestTable1:
+    def test_matches_paper(self):
+        from repro.experiments import table1
+
+        assert table1.generate() == table1.PAPER_TABLE1
+
+    def test_predicates(self):
+        from repro.experiments.table1 import (
+            has_cross_nest_scalar_reduction,
+            has_data_dependent_control,
+            is_stencil,
+            is_triangular_factorisation,
+        )
+        from repro.kernels import cholesky, jacobi, lu, qr
+
+        assert is_stencil(jacobi.sequential())
+        assert not is_stencil(cholesky.sequential())
+        assert is_triangular_factorisation(cholesky.sequential())
+        assert not is_triangular_factorisation(jacobi.sequential())
+        assert has_data_dependent_control(lu.sequential())
+        assert not has_data_dependent_control(cholesky.sequential())
+        assert has_cross_nest_scalar_reduction(qr.sequential())
+        assert not has_cross_nest_scalar_reduction(jacobi.sequential())
+
+    def test_render_reports_agreement(self):
+        from repro.experiments import table1
+
+        assert "matches the paper" in table1.render()
+
+
+class TestFigures:
+    def test_figure5_rows(self, tiny_config):
+        from repro.experiments import figure5
+
+        rows = figure5.generate(replace(tiny_config, sizes=(12,)))
+        assert len(rows) == 4  # four kernels
+        text = figure5.render(rows)
+        assert "speedup ranges" in text
+
+    def test_figure678_rows(self, tiny_config):
+        from repro.experiments import figure678
+
+        rows = figure678.generate(replace(tiny_config, sizes=(12,)))
+        assert len(rows) == 1
+        assert rows[0].tiled_instructions > rows[0].seq_instructions
+        out = figure678.main(replace(tiny_config, sizes=(12,)))
+        assert "Figure 6" in out and "Figure 7" in out and "Figure 8" in out
+
+    def test_jacobi_stats_direction(self, tiny_config):
+        from repro.experiments import jacobi_stats
+
+        rows = jacobi_stats.generate(replace(tiny_config, sizes=(16,)))
+        # fusion reduces both memory ops and instructions (paper direction)
+        assert rows[0].load_reduction > 0
+        assert rows[0].instr_change > 0

@@ -1,0 +1,22 @@
+"""Tests for the report writer."""
+
+from repro.experiments.report import write_all
+from repro.experiments.sweep import SweepConfig
+from repro.machine.configs import octane2_scaled
+
+
+def test_write_all_artifacts(tmp_path):
+    config = SweepConfig(
+        machine=octane2_scaled(), sizes=(12,), jacobi_m=2, tile_policy="pdat"
+    )
+    written = write_all(tmp_path, config)
+    assert set(written) == {"figure5", "figure678", "table1", "jacobi_stats"}
+    for path in written.values():
+        assert path.exists() and path.read_text().strip()
+    # CSVs alongside the markdown
+    assert (tmp_path / "figure5.csv").exists()
+    csv_text = (tmp_path / "figure5.csv").read_text()
+    assert "speedup" in csv_text.splitlines()[0]
+    assert len(csv_text.splitlines()) == 1 + 4  # header + four kernels
+    # provenance
+    assert "octane2-scaled" in (tmp_path / "config.md").read_text()

@@ -1,0 +1,112 @@
+"""Emitter round-trip: parse(to_source(p)) is structurally identical to p."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import IRError
+from repro.frontend import parse_program
+from repro.frontend.emit import to_source
+from repro.ir.builder import assign, cge, cle, idx, if_, loop, or_, sym, val
+from repro.ir.expr import BinOp, Select
+from repro.ir.program import ArrayDecl, Program, ScalarDecl
+
+N = sym("N")
+
+
+def roundtrip(program: Program) -> None:
+    text = to_source(program)
+    back = parse_program(text)
+    assert back.name == program.name
+    assert back.params == program.params
+    assert back.arrays == program.arrays
+    assert back.scalars == program.scalars
+    assert back.outputs == program.outputs
+    assert back.body == program.body
+
+
+class TestRoundtripKernels:
+    @pytest.mark.parametrize("kernel", ["lu", "qr", "cholesky", "jacobi"])
+    def test_sequential_kernels(self, kernel):
+        from repro.kernels.registry import get_kernel
+
+        roundtrip(get_kernel(kernel).sequential())
+
+    @pytest.mark.parametrize("kernel", ["qr", "cholesky", "jacobi"])
+    def test_fixed_kernels(self, kernel):
+        from repro.kernels.registry import get_kernel
+
+        roundtrip(get_kernel(kernel).fixed())
+
+    @pytest.mark.parametrize("kernel", ["cholesky", "jacobi"])
+    def test_tiled_kernels(self, kernel):
+        from repro.kernels.registry import get_kernel
+
+        roundtrip(get_kernel(kernel).tiled(5))
+
+
+class TestRoundtripConstructs:
+    def test_negative_constants(self):
+        p = Program(
+            "neg", ("N",), (ArrayDecl("A", (N,)),), (),
+            (assign(idx("A", val(1)), val(-2.5)),),
+        )
+        text = to_source(p)
+        back = parse_program(text)
+        import numpy as np
+
+        from repro.exec import run_compiled
+
+        a = run_compiled(p, {"N": 2}).arrays["A"]
+        b = run_compiled(back, {"N": 2}).arrays["A"]
+        assert np.allclose(a, b)
+
+    def test_disjunctive_guard(self):
+        body = loop(
+            "i",
+            1,
+            N,
+            [if_(or_(cle(sym("i"), val(2)), cge(sym("i"), N)), assign("s", 1.0))],
+        )
+        p = Program("dis", ("N",), (ArrayDecl("A", (N,)),), (ScalarDecl("s"),), (body,))
+        roundtrip(p)
+
+    def test_stepped_loop(self):
+        body = loop("i", 1, N, [assign(idx("A", sym("i")), 0.0)], step=3)
+        p = Program("st", ("N",), (ArrayDecl("A", (N,)),), (), (body,))
+        roundtrip(p)
+
+    def test_select_rejected(self):
+        body = assign(
+            idx("A", val(1)),
+            Select(cge(val(1), val(0)), val(1.0), val(2.0)),
+        )
+        p = Program("sel", ("N",), (ArrayDecl("A", (N,)),), (), (body,))
+        with pytest.raises(IRError):
+            to_source(p)
+
+
+@st.composite
+def rand_program(draw):
+    n_stmts = draw(st.integers(1, 4))
+    stmts = []
+    for idx_ in range(n_stmts):
+        c = draw(st.integers(0, 2))
+        i = sym("i")
+        if c == 0:
+            stmts.append(assign(idx("A", i), i * draw(st.integers(1, 5)) + 1.5))
+        elif c == 1:
+            stmts.append(
+                if_(cge(i, val(draw(st.integers(1, 4)))), assign("s", 2.0),
+                    assign("s", 3.0))
+            )
+        else:
+            stmts.append(assign("s", sym("s") + 1.0))
+    body = loop("i", 1, N, stmts)
+    return Program(
+        "rand", ("N",), (ArrayDecl("A", (N,)),), (ScalarDecl("s"),), (body,)
+    )
+
+
+@given(rand_program())
+def test_random_programs_roundtrip(program):
+    roundtrip(program)

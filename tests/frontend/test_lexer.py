@@ -1,0 +1,65 @@
+"""Unit tests for the mini-Fortran lexer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend.lexer import tokenize
+
+
+def kinds_texts(src):
+    return [(t.kind, t.text) for t in tokenize(src)]
+
+
+class TestTokens:
+    def test_keywords_case_insensitive(self):
+        toks = kinds_texts("DO If THEN")
+        assert toks[0] == ("kw", "do")
+        assert toks[1] == ("kw", "if")
+        assert toks[2] == ("kw", "then")
+
+    def test_names_preserve_case(self):
+        toks = kinds_texts("Alpha")
+        assert toks[0] == ("name", "Alpha")
+
+    def test_numbers(self):
+        toks = kinds_texts("42 3.5 1e3 2.0E-2")
+        assert [t[0] for t in toks[:4]] == ["int", "float", "float", "float"]
+
+    def test_dot_operators_mapped(self):
+        toks = kinds_texts("a .GT. b .and. c .NE. d")
+        ops = [t for t in toks if t[0] == "op"]
+        assert ops == [("op", ">"), ("op", "&&"), ("op", "!=")]
+
+    def test_c_style_operators(self):
+        toks = kinds_texts("a >= b == c")
+        ops = [t[1] for t in toks if t[0] == "op"]
+        assert ops == [">=", "=="]
+
+    def test_comments_ignored(self):
+        toks = kinds_texts("a ! this is a comment\nb")
+        names = [t[1] for t in toks if t[0] == "name"]
+        assert names == ["a", "b"]
+
+    def test_newlines_collapsed(self):
+        toks = kinds_texts("a\n\n\nb")
+        newlines = [t for t in toks if t[0] == "newline"]
+        # one between a and b, one trailing
+        assert len(newlines) == 2
+
+    def test_leading_blank_lines_skipped(self):
+        toks = kinds_texts("\n\na")
+        assert toks[0] == ("name", "a")
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError) as exc:
+            list(tokenize("a @ b"))
+        assert exc.value.line == 1
+
+    def test_eof_token(self):
+        assert kinds_texts("")[-1] == ("eof", "")
+
+    def test_positions(self):
+        toks = list(tokenize("ab cd\n ef"))
+        assert (toks[0].line, toks[0].col) == (1, 1)
+        assert (toks[1].line, toks[1].col) == (1, 4)
+        assert (toks[3].line, toks[3].col) == (2, 2)

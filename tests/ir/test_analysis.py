@@ -1,0 +1,105 @@
+"""Unit tests for structural IR analyses."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.analysis import (
+    as_perfect_nest,
+    assignments_in_order,
+    flatten_guards,
+    is_perfect_loop_nest,
+    iteration_domain,
+    loop_bound_constraints,
+    loops_on_path,
+    written_names,
+)
+from repro.ir.builder import and_, assign, ceq, cgt, fabs, idx, if_, loop, sym, val
+from repro.poly.enumerate import count_points
+
+i, j, k, N = sym("i"), sym("j"), sym("k"), sym("N")
+
+
+def update_nest():
+    body = assign(idx("A", i, j), idx("A", i, j) - idx("A", i, k) * idx("A", k, j))
+    return loop("j", k + 1, N, [loop("i", k + 1, N, [body])])
+
+
+class TestPerfectNest:
+    def test_depth_and_vars(self):
+        nest = as_perfect_nest(update_nest())
+        assert nest.depth == 2 and nest.loop_vars == ("j", "i")
+
+    def test_depth_zero_for_assign(self):
+        nest = as_perfect_nest(assign("x", 1))
+        assert nest.depth == 0 and len(nest.body) == 1
+
+    def test_is_perfect(self):
+        assert is_perfect_loop_nest(update_nest())
+
+    def test_imperfect_detected(self):
+        imperfect = loop("j", 1, N, [assign("x", 0), loop("i", 1, N, [assign("x", 1)])])
+        assert not is_perfect_loop_nest(imperfect)
+
+    def test_nested_loop_in_body_detected(self):
+        nest = loop("j", 1, N, [if_(ceq(j, 1), loop("i", 1, N, [assign("x", 1)]))])
+        assert not is_perfect_loop_nest(nest)
+
+    def test_non_unit_step_stops_descent(self):
+        tiled = loop("jt", 1, N, [assign("x", 0)], step=4)
+        assert as_perfect_nest(tiled).depth == 0
+
+
+class TestIterationDomain:
+    def test_triangle_domain(self):
+        dom = iteration_domain(as_perfect_nest(update_nest()).loops)
+        assert count_points(dom, {"k": 1, "N": 4}) == 9
+
+    def test_min_max_bounds_decompose(self):
+        from repro.ir.builder import fmax, fmin
+
+        l = loop("i", fmax(val(1), k), fmin(N, k + 3), [assign("x", 0)])
+        cs = loop_bound_constraints(l)
+        assert len(cs) == 4
+
+    def test_nonunit_step_rejected(self):
+        l = loop("i", 1, N, [assign("x", 0)], step=2)
+        with pytest.raises(IRError):
+            loop_bound_constraints(l)
+
+
+class TestGuards:
+    def test_flatten_affine_guard(self):
+        s = if_(and_(ceq(i, k), cgt(j, k)), assign("x", 1))
+        out = flatten_guards([s])
+        assert len(out) == 1 and len(out[0].affine) == 2 and not out[0].opaque
+
+    def test_flatten_opaque_guard(self):
+        s = if_(cgt(fabs(sym("d")), sym("t")), assign("x", 1))
+        out = flatten_guards([s])
+        assert out[0].opaque
+
+    def test_else_branch_is_opaque(self):
+        s = if_(ceq(i, k), assign("x", 1), assign("x", 2))
+        out = flatten_guards([s])
+        assert len(out) == 2
+        assert not out[0].opaque and out[1].opaque
+
+
+class TestMisc:
+    def test_assignments_in_order(self):
+        body = [assign("x", 1), if_(ceq(i, 1), assign("y", 2)), assign("z", 3)]
+        names = [a.target.name for a in assignments_in_order(body)]
+        assert names == ["x", "y", "z"]
+
+    def test_written_names(self):
+        body = [assign("x", 1), assign(idx("A", i), 0.0)]
+        assert written_names(body) == {"x", "A"}
+
+    def test_loops_on_path(self):
+        target = assign("x", 1)
+        nest = loop("j", 1, N, [loop("i", 1, N, [target])])
+        path = loops_on_path([nest], target)
+        assert [l.var for l in path] == ["j", "i"]
+
+    def test_loops_on_path_missing(self):
+        assert loops_on_path([update_nest()], assign("q", 1)) is None

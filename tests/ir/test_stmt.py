@@ -1,0 +1,88 @@
+"""Unit tests for statement nodes."""
+
+import pytest
+
+from repro.ir.builder import assign, ceq, idx, if_, loop, sym, val
+from repro.ir.expr import Const, VarRef
+from repro.ir.stmt import Assign, If, Loop, map_stmt_exprs, stmt_expressions, walk_stmts
+
+
+class TestConstruction:
+    def test_assign_target_type(self):
+        with pytest.raises(TypeError):
+            Assign(Const(1), Const(2))
+
+    def test_if_requires_nonempty(self):
+        with pytest.raises(TypeError):
+            If(ceq(sym("i"), 1), (), ())
+
+    def test_loop_requires_body(self):
+        with pytest.raises(TypeError):
+            Loop("i", Const(1), Const(2), ())
+
+    def test_loop_var_name(self):
+        with pytest.raises(TypeError):
+            Loop("", Const(1), Const(2), (assign("x", 0),))
+
+    def test_unit_step_detection(self):
+        l1 = loop("i", 1, 5, [assign("x", 0)])
+        l2 = loop("i", 1, 5, [assign("x", 0)], step=2)
+        assert l1.has_unit_step and not l2.has_unit_step
+
+    def test_immutability(self):
+        s = assign("x", 1)
+        with pytest.raises(AttributeError):
+            s.value = Const(2)
+
+
+class TestTraversal:
+    def test_walk_stmts(self):
+        nest = loop("i", 1, 3, [if_(ceq(sym("i"), 2), assign("x", 1))])
+        kinds = [type(s).__name__ for s in walk_stmts([nest])]
+        assert kinds == ["Loop", "If", "Assign"]
+
+    def test_walk_visits_else(self):
+        s = if_(ceq(sym("i"), 1), assign("x", 1), assign("x", 2))
+        assert sum(1 for t in walk_stmts([s]) if isinstance(t, Assign)) == 2
+
+    def test_stmt_expressions_assign(self):
+        s = assign(idx("A", sym("i")), val(2))
+        exprs = list(stmt_expressions(s))
+        assert len(exprs) == 2
+
+    def test_stmt_expressions_loop(self):
+        l = loop("i", 1, sym("N"), [assign("x", 0)])
+        assert len(list(stmt_expressions(l))) == 3
+
+    def test_map_stmt_exprs_renames_everywhere(self):
+        nest = loop(
+            "i", sym("a"), sym("a") + 2, [assign(idx("A", sym("a")), sym("a"))]
+        )
+
+        def rn(expr):
+            from repro.ir.expr import map_expr
+
+            def fn(node):
+                if isinstance(node, VarRef) and node.name == "a":
+                    return VarRef("b")
+                return node
+
+            return map_expr(expr, fn)
+
+        out = map_stmt_exprs(nest, rn)
+        text = str(out)
+        assert "a" not in text.replace("end", "").replace("A(", "(")
+
+    def test_map_stmt_cannot_change_target_kind(self):
+        s = assign("x", 1)
+
+        def bad(expr):
+            return Const(0)
+
+        with pytest.raises(TypeError):
+            map_stmt_exprs(s, bad)
+
+    def test_structural_equality(self):
+        a = loop("i", 1, 3, [assign("x", 1)])
+        b = loop("i", 1, 3, [assign("x", 1)])
+        assert a == b and hash(a) == hash(b)

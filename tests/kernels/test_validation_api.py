@@ -1,0 +1,31 @@
+"""Tests for the cross-variant validation API."""
+
+import pytest
+
+from repro.kernels.validation import ValidationMatrix, validate_kernel
+
+
+@pytest.mark.parametrize("kernel", ["cholesky", "jacobi"])
+def test_validation_matrix(kernel):
+    matrix = validate_kernel(kernel, sizes=(7, 10), tiles=(3,))
+    assert matrix.all_fixed_variants_valid()
+    assert matrix.failures() == []
+
+
+def test_jacobi_fusion_requires_fixing():
+    matrix = validate_kernel("jacobi", sizes=(8,), tiles=(3,))
+    assert matrix.fusion_requires_fixing
+
+
+def test_cholesky_fusion_already_legal():
+    matrix = validate_kernel("cholesky", sizes=(8,), tiles=(3,))
+    assert not matrix.fusion_requires_fixing
+
+
+def test_checks_shape():
+    matrix = validate_kernel("cholesky", sizes=(6, 9), tiles=(3, 5))
+    # 4 base variants + 2 tiled, per size
+    assert len(matrix.checks) == 2 * 6
+    assert isinstance(matrix, ValidationMatrix)
+    variants = {c.variant for c in matrix.checks}
+    assert variants == {"sequential", "fusable", "fused", "fixed", "tiled"}

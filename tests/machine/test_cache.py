@@ -1,0 +1,114 @@
+"""Unit and property tests for the set-associative LRU cache model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MachineError
+from repro.machine.cache import (
+    CacheConfig,
+    misses_fully_associative,
+    simulate_cache,
+    stack_distances,
+)
+
+
+def cfg(size=256, line=32, assoc=2):
+    return CacheConfig("L", size, line, assoc)
+
+
+class TestConfig:
+    def test_geometry(self):
+        c = cfg(1024, 32, 2)
+        assert c.num_sets == 16 and c.line_shift == 5
+
+    def test_non_power_of_two_line(self):
+        with pytest.raises(MachineError):
+            cfg(line=48)
+
+    def test_indivisible_size(self):
+        with pytest.raises(MachineError):
+            CacheConfig("L", 100, 32, 2)
+
+    def test_positive_fields(self):
+        with pytest.raises(MachineError):
+            CacheConfig("L", 0, 32, 2)
+
+
+class TestSimulate:
+    def test_cold_misses(self):
+        addrs = np.array([0, 32, 64], dtype=np.int64)
+        misses = simulate_cache(cfg(), addrs)
+        assert misses.all()
+
+    def test_hit_on_repeat(self):
+        addrs = np.array([0, 0, 8, 31], dtype=np.int64)
+        misses = simulate_cache(cfg(), addrs)
+        assert list(misses) == [True, False, False, False]
+
+    def test_lru_eviction_within_set(self):
+        c = cfg(size=128, line=32, assoc=2)  # 2 sets
+        s = c.num_sets * c.line_bytes  # stride mapping to same set
+        a, b, d = 0, s, 2 * s
+        addrs = np.array([a, b, d, a], dtype=np.int64)
+        misses = simulate_cache(c, addrs)
+        # a,b fill the set; d evicts a (LRU); the re-access to a misses.
+        assert list(misses) == [True, True, True, True]
+
+    def test_mru_protected(self):
+        c = cfg(size=128, line=32, assoc=2)
+        s = c.num_sets * c.line_bytes
+        addrs = np.array([0, s, 0, 2 * s, 0], dtype=np.int64)
+        misses = simulate_cache(c, addrs)
+        # 0 stays MRU; 2s evicts s, not 0.
+        assert list(misses) == [True, True, False, True, False]
+
+    def test_empty_trace(self):
+        assert len(simulate_cache(cfg(), np.empty(0, dtype=np.int64))) == 0
+
+    def test_2d_rejected(self):
+        with pytest.raises(MachineError):
+            simulate_cache(cfg(), np.zeros((2, 2), dtype=np.int64))
+
+
+class TestStackDistances:
+    def test_cold_is_negative(self):
+        d = stack_distances(np.array([0, 64, 128]), 5)
+        assert list(d) == [-1, -1, -1]
+
+    def test_distance_counts_distinct_lines(self):
+        d = stack_distances(np.array([0, 64, 128, 0]), 5)
+        assert d[3] == 2
+
+    def test_fully_associative_from_distances(self):
+        addrs = np.array([0, 64, 128, 0, 64], dtype=np.int64)
+        assert misses_fully_associative(addrs, 5, capacity_lines=2) == 5 - 0  # all miss
+        assert misses_fully_associative(addrs, 5, capacity_lines=3) == 3
+
+
+@given(
+    st.lists(st.integers(0, 60), min_size=1, max_size=120),
+)
+def test_lru_inclusion_property(track):
+    """Mattson inclusion: bigger fully-associative LRU never misses more."""
+    addrs = np.array(track, dtype=np.int64) * 8
+    m_small = misses_fully_associative(addrs, 3, capacity_lines=2)
+    m_big = misses_fully_associative(addrs, 3, capacity_lines=4)
+    assert m_big <= m_small
+
+
+@given(st.lists(st.integers(0, 100), min_size=1, max_size=150))
+def test_setassoc_agrees_with_stack_distance_when_one_set(track):
+    """A single-set cache of associativity A == fully-associative LRU of A."""
+    addrs = np.array(track, dtype=np.int64) * 8
+    config = CacheConfig("L", 4 * 8, 8, 4)  # one set, 4 ways, line = element
+    assert config.num_sets == 1
+    misses = int(simulate_cache(config, addrs).sum())
+    assert misses == misses_fully_associative(addrs, 3, capacity_lines=4)
+
+
+@given(st.lists(st.integers(0, 100), min_size=1, max_size=100))
+def test_determinism(track):
+    addrs = np.array(track, dtype=np.int64) * 4
+    c = cfg()
+    assert (simulate_cache(c, addrs) == simulate_cache(c, addrs)).all()

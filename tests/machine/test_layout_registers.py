@@ -1,0 +1,76 @@
+"""Unit tests for memory layout and the register-file load filter."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineError
+from repro.machine.layout import MemoryLayout
+from repro.machine.registers import filter_loads
+
+
+class TestLayout:
+    def test_alignment(self):
+        layout = MemoryLayout.build({"A": 10, "B": 3}, align=128)
+        assert layout.bases["A"] == 0
+        assert layout.bases["B"] == 128  # 80 bytes rounded up
+
+    def test_address_of(self):
+        layout = MemoryLayout.build({"A": 10})
+        assert layout.address_of("A", 2) == 16
+
+    def test_bounds_checked(self):
+        layout = MemoryLayout.build({"A": 4})
+        with pytest.raises(MachineError):
+            layout.address_of("A", 4)
+
+    def test_vectorised_addresses(self):
+        layout = MemoryLayout.build({"A": 8, "B": 8}, align=64)
+        aid = np.array([0, 1, 0])
+        lin = np.array([0, 0, 3])
+        out = layout.addresses(aid, lin, {0: "A", 1: "B"})
+        assert list(out) == [0, 64, 24]
+
+    def test_bad_alignment(self):
+        with pytest.raises(MachineError):
+            MemoryLayout.build({"A": 4}, align=3)
+
+    def test_nonpositive_size(self):
+        with pytest.raises(MachineError):
+            MemoryLayout.build({"A": 0})
+
+
+class TestRegisterFilter:
+    def test_repeat_load_elided(self):
+        addrs = np.array([0, 0, 0], dtype=np.int64)
+        w = np.array([0, 0, 0])
+        res = filter_loads(addrs, w, capacity=4)
+        assert res.load_hits == 2
+        assert list(res.to_memory) == [True, False, False]
+
+    def test_store_always_to_memory_but_makes_resident(self):
+        addrs = np.array([0, 0], dtype=np.int64)
+        w = np.array([1, 0])
+        res = filter_loads(addrs, w, capacity=4)
+        assert list(res.to_memory) == [True, False]  # forwarding
+
+    def test_capacity_eviction_lru(self):
+        # touch 0,8,16 with capacity 2: 0 evicted, reload misses.
+        addrs = np.array([0, 8, 16, 0], dtype=np.int64)
+        w = np.zeros(4)
+        res = filter_loads(addrs, w, capacity=2)
+        assert list(res.to_memory) == [True, True, True, True]
+
+    def test_zero_capacity_disables(self):
+        addrs = np.array([0, 0], dtype=np.int64)
+        res = filter_loads(addrs, np.zeros(2), capacity=0)
+        assert res.load_hits == 0
+
+    def test_element_granularity(self):
+        # different elements of the same cache line are distinct registers
+        addrs = np.array([0, 4], dtype=np.int64)  # same 8-byte element!
+        res = filter_loads(addrs, np.zeros(2), capacity=4)
+        assert res.load_hits == 1  # 4 >> 3 == 0 too
+
+    def test_negative_capacity(self):
+        with pytest.raises(MachineError):
+            filter_loads(np.zeros(1, dtype=np.int64), np.zeros(1), capacity=-1)

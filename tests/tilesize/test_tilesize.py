@@ -1,0 +1,70 @@
+"""Unit tests for LRW and PDAT tile-size selection."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machine.cache import CacheConfig
+from repro.machine.configs import octane2, octane2_scaled
+from repro.tilesize.lrw import _self_interference, lrw_tile
+from repro.tilesize.pdat import pdat_tile
+
+
+class TestPDAT:
+    def test_paper_machine_value(self):
+        # C = 32KB / 8B = 4096 doubles, K = 2: sqrt(2048) ~ 45.
+        assert pdat_tile(octane2().l1) == 45
+
+    def test_scaled_machine_value(self):
+        # C = 2KB / 8B = 256, K = 2: sqrt(128) ~ 11.
+        assert pdat_tile(octane2_scaled().l1) == 11
+
+    def test_independent_of_problem_size(self):
+        t = pdat_tile(octane2().l1)
+        assert t == pdat_tile(octane2().l1)
+
+    def test_direct_mapped(self):
+        c = CacheConfig("L", 2048, 32, 1)
+        assert pdat_tile(c) >= 2
+
+    def test_bad_element_size(self):
+        with pytest.raises(MachineError):
+            pdat_tile(octane2().l1, element_bytes=0)
+
+
+class TestLRW:
+    def test_tile_fits_cache(self):
+        cache = octane2_scaled().l1
+        for n in (24, 64, 100, 128):
+            edge = lrw_tile(cache, n)
+            assert 2 <= edge
+            assert edge * edge * 8 <= cache.size_bytes
+
+    def test_no_self_interference_for_chosen_edge(self):
+        cache = octane2_scaled().l1
+        n = 96
+        edge = lrw_tile(cache, n)
+        assert _self_interference(cache, n, edge, 8) == 0
+
+    def test_pathological_size_shrinks_tile(self):
+        cache = octane2_scaled().l1
+        # leading dimension equal to a multiple of the set span is the
+        # classic pathological case: columns collide heavily.
+        bad_n = cache.num_sets * cache.line_bytes // 8 * 2
+        good_n = bad_n + 1
+        assert lrw_tile(cache, bad_n) <= lrw_tile(cache, good_n)
+
+    def test_small_problem(self):
+        assert lrw_tile(octane2_scaled().l1, 4) <= 4
+
+    def test_invalid_n(self):
+        with pytest.raises(MachineError):
+            lrw_tile(octane2_scaled().l1, 0)
+
+    def test_lrw_close_to_pdat_generally(self):
+        # The paper: LRW and PDAT curves "almost always coincide".
+        cache = octane2_scaled().l1
+        pdat = pdat_tile(cache)
+        close = sum(
+            1 for n in (31, 47, 63, 97, 129) if abs(lrw_tile(cache, n) - pdat) <= 6
+        )
+        assert close >= 3

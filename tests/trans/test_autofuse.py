@@ -1,0 +1,105 @@
+"""Auto-derived embeddings must reproduce the hand-written Figure-3 ones
+(up to program equivalence)."""
+
+import numpy as np
+import pytest
+
+from repro.exec import run_compiled
+from repro.ir import val
+from repro.kernels import cholesky, jacobi, lu, qr
+from repro.trans.autofuse import auto_fuse, derive_embedding
+from repro.trans.fixdeps import fix_dependences
+
+
+def _check_equivalent(mod, nest, value_ranges=None, n=9, extra=None):
+    report = fix_dependences(nest, value_ranges=value_ranges)
+    program = report.program("auto_fixed")
+    params = {"N": n}
+    if "M" in mod.PARAMS:
+        params["M"] = 3
+    inputs = mod.make_inputs(params)
+    out = run_compiled(program, params, inputs)
+    ref = mod.reference(params, inputs)
+    for name in program.outputs:
+        if name in ref:
+            assert np.allclose(out.arrays[name], ref[name], rtol=1e-8, atol=1e-10)
+    return report
+
+
+class TestDeriveEmbedding:
+    def test_depth_zero_placed_at_origin(self):
+        from repro.ir.builder import assign, sym
+
+        emb = derive_embedding(
+            assign("x", 1), [("j", sym("k") + 1, sym("N")), ("i", sym("k"), sym("N"))]
+        )
+        assert emb.var_map == {}
+        assert set(emb.placement) == {"j", "i"}
+
+    def test_positional_tail_alignment(self):
+        from repro.ir.builder import assign, idx, loop, sym
+
+        item = loop("p", 1, sym("N"), [assign(idx("A", sym("p")), 0.0)])
+        emb = derive_embedding(
+            item, [("j", val(1), sym("N")), ("i", val(1), sym("N"))]
+        )
+        assert emb.var_map == {"p": "i"}
+        assert set(emb.placement) == {"j"}
+
+    def test_too_deep_rejected(self):
+        from repro.errors import TransformError
+        from repro.ir.builder import assign, idx, loop, sym
+
+        item = loop(
+            "a", 1, sym("N"), [loop("b", 1, sym("N"), [assign(idx("A", sym("a"), sym("b")), 0.0)])]
+        )
+        with pytest.raises(TransformError):
+            derive_embedding(item, [("i", val(1), sym("N"))])
+
+
+class TestAutoFuseKernels:
+    def test_jacobi(self):
+        from repro.kernels.jacobi import _N
+
+        nest = auto_fuse(
+            jacobi.fusable(),
+            [("i", val(2), _N - 1), ("j", val(2), _N - 1)],
+            context_depth=1,
+        )
+        report = _check_equivalent(jacobi, nest)
+        assert [i.array for i in report.rw.insertions] == ["A"]
+
+    def test_cholesky(self):
+        from repro.kernels.cholesky import _N, _j, _k
+
+        nest = auto_fuse(
+            cholesky.fusable(),
+            [("j", _k + 1, _N), ("i", _j, _N)],
+            context_depth=1,
+            epilogue_from=1,
+        )
+        report = _check_equivalent(cholesky, nest)
+        assert report.ww_wr.collapsed_groups() == {}
+
+    def test_qr(self):
+        from repro.kernels.qr import _N, _i
+
+        nest = auto_fuse(
+            qr.fusable(),
+            [("j", _i, _N), ("k", _i, _N)],
+            context_depth=1,
+        )
+        report = _check_equivalent(qr, nest)
+        assert 2 in report.ww_wr.collapsed_groups()
+
+    def test_lu(self):
+        from repro.kernels.lu import _N, _k
+
+        nest = auto_fuse(
+            lu.fusable(),
+            [("j", _k + 1, _N), ("i", _k, _N)],
+            context_depth=1,
+            epilogue_from=1,
+        )
+        report = _check_equivalent(lu, nest, value_ranges=lu.VALUE_RANGES)
+        assert 3 in report.ww_wr.collapsed_groups()

@@ -1,0 +1,64 @@
+"""Unit tests for ElimWW_WR (the tiling half of FixDeps)."""
+
+import numpy as np
+
+from repro.deps.fusionpreventing import violated_dependences
+from repro.exec import run_compiled
+from repro.kernels import cholesky, jacobi, lu, qr
+from repro.trans.elim_ww_wr import eliminate_ww_wr
+
+
+class TestPerKernel:
+    def test_cholesky_untouched(self):
+        out = eliminate_ww_wr(cholesky.fused_nest())
+        assert out.collapsed_groups() == {}
+
+    def test_jacobi_untouched(self):
+        out = eliminate_ww_wr(jacobi.fused_nest())
+        assert out.collapsed_groups() == {}
+
+    def test_lu_collapses_search_i(self):
+        out = eliminate_ww_wr(lu.fused_nest(), value_ranges=lu.VALUE_RANGES)
+        assert out.collapsed_groups() == {3: ("i",)}
+
+    def test_qr_collapses_three_groups(self):
+        out = eliminate_ww_wr(qr.fused_nest())
+        assert out.collapsed_groups() == {2: ("k",), 6: ("j",), 8: ("k",)}
+
+    def test_theorem1_no_remaining_flow_output(self):
+        # Mechanical Theorem 1: after the pass, zero flow/output violations.
+        for nest, vr in [
+            (lu.fused_nest(), lu.VALUE_RANGES),
+            (qr.fused_nest(), None),
+        ]:
+            fixed = eliminate_ww_wr(nest, value_ranges=vr)
+            assert (
+                violated_dependences(
+                    fixed.nest, ("flow", "output"), value_ranges=vr
+                )
+                == []
+            )
+
+
+class TestGeneratedCode:
+    def test_lu_p_loop_emitted(self):
+        out = eliminate_ww_wr(lu.fused_nest(), value_ranges=lu.VALUE_RANGES)
+        text = str(out.nest.to_program())
+        # the collapsed pivot search becomes a sweep loop at the origin
+        assert "do is" in text
+        assert "i .EQ. k" in text
+
+    def test_qr_collapsed_code_correct(self):
+        out = eliminate_ww_wr(qr.fused_nest())
+        program = out.nest.to_program("qr_elim")
+        params = {"N": 9}
+        inputs = qr.make_inputs(params)
+        result = run_compiled(program, params, inputs)
+        ref = qr.reference(params, inputs)
+        assert np.allclose(result.arrays["A"], ref["A"], rtol=1e-9)
+
+    def test_rounds_audit(self):
+        out = eliminate_ww_wr(qr.fused_nest())
+        touched = [r for r in out.rounds if r.collapsed_dims]
+        assert all(r.violations for r in touched)
+        assert all(r.distances is not None for r in touched)

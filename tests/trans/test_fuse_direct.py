@@ -1,0 +1,133 @@
+"""Tests for classic (dependence-preserving) fusion."""
+
+import numpy as np
+import pytest
+
+from repro.exec import run_compiled
+from repro.ir.builder import assign, idx, loop, sym
+from repro.ir.program import ArrayDecl, Program
+from repro.ir.stmt import Loop
+from repro.trans.fuse_direct import fuse_all_legal, try_fuse_adjacent
+
+N, i = sym("N"), sym("i")
+
+
+def program_with(*nests, arrays=("A", "B", "C")):
+    return Program(
+        "p", ("N",), tuple(ArrayDecl(a, (N,)) for a in arrays), (), tuple(nests)
+    )
+
+
+def fill(a, value=1.0):
+    return loop("i", 1, N, [assign(idx(a, i), value)])
+
+
+def pointwise(dst, src, shift=0):
+    index = i + shift if shift >= 0 else i - (-shift)
+    return loop(
+        "i", 1 + abs(shift), N - abs(shift), [assign(idx(dst, i), idx(src, index))]
+    )
+
+
+class TestTryFuse:
+    def test_legal_pair_fused(self):
+        p = program_with(fill("A"), loop("i", 1, N, [assign(idx("B", i), idx("A", i))]))
+        fused = try_fuse_adjacent(p)
+        assert fused is not None
+        assert len(fused.body) == 1
+        out = run_compiled(fused, {"N": 6})
+        assert np.allclose(out.arrays["B"], 1.0)
+
+    def test_fusion_preventing_pair_refused(self):
+        # nest2 reads A(i+1): fusing reverses the flow dependence.
+        n1 = loop("i", 1, N - 1, [assign(idx("A", i), 2.0)])
+        n2 = loop("i", 1, N - 1, [assign(idx("B", i), idx("A", i + 1))])
+        p = program_with(n1, n2)
+        assert try_fuse_adjacent(p) is None
+
+    def test_anti_preventing_pair_refused(self):
+        # nest1 reads A(i-1), which nest2 overwrites at the earlier fused
+        # iteration i-1: the anti-dependence is reversed.
+        n1 = loop("i", 2, N, [assign(idx("B", i), idx("A", i - 1))])
+        n2 = loop("i", 2, N, [assign(idx("A", i), 0.0)])
+        p = program_with(n1, n2)
+        assert try_fuse_adjacent(p) is None
+
+    def test_forward_anti_read_is_legal(self):
+        # reading A(i+1) while a later nest writes A(i) keeps its order
+        # under fusion (write of element e at iter e follows the read of e
+        # at iter e-1) — and the analysis knows it.
+        n1 = loop("i", 1, N - 1, [assign(idx("B", i), idx("A", i + 1))])
+        n2 = loop("i", 1, N - 1, [assign(idx("A", i), 0.0)])
+        p = program_with(n1, n2)
+        fused = try_fuse_adjacent(p)
+        assert fused is not None
+        rng = np.random.default_rng(0)
+        a0 = rng.random(8)
+        x = run_compiled(p, {"N": 8}, {"A": a0})
+        y = run_compiled(fused, {"N": 8}, {"A": a0})
+        assert np.allclose(x.arrays["B"], y.arrays["B"])
+        assert np.allclose(x.arrays["A"], y.arrays["A"])
+
+    def test_shape_mismatch_refused(self):
+        p = program_with(fill("A"), loop("i", 2, N, [assign(idx("B", i), 0.0)]))
+        assert try_fuse_adjacent(p) is None
+
+    def test_different_loop_names_fused(self):
+        n1 = fill("A")
+        n2 = loop("j", 1, N, [assign(idx("B", sym("j")), idx("A", sym("j")))])
+        p = program_with(n1, n2)
+        fused = try_fuse_adjacent(p)
+        assert fused is not None
+        out = run_compiled(fused, {"N": 5})
+        assert np.allclose(out.arrays["B"], 1.0)
+
+    def test_bad_index(self):
+        from repro.errors import TransformError
+
+        with pytest.raises(TransformError):
+            try_fuse_adjacent(program_with(fill("A")), 0)
+
+
+class TestFuseAllLegal:
+    def test_chain_collapses(self):
+        p = program_with(
+            fill("A"),
+            loop("i", 1, N, [assign(idx("B", i), idx("A", i) + 1.0)]),
+            loop("i", 1, N, [assign(idx("C", i), idx("B", i) * 2.0)]),
+        )
+        fused = fuse_all_legal(p)
+        assert len(fused.body) == 1
+        out = run_compiled(fused, {"N": 4})
+        assert np.allclose(out.arrays["C"], 4.0)
+
+    def test_illegal_link_splits_chain(self):
+        p = program_with(
+            fill("A"),
+            loop("i", 1, N - 1, [assign(idx("B", i), idx("A", i + 1))]),
+        )
+        fused = fuse_all_legal(p)
+        assert len(fused.body) == 2  # nothing fused
+
+    def test_jacobi_sweeps_refused(self):
+        # the paper's motivating case: plain fusion cannot merge Jacobi's
+        # sweeps; FixDeps can.
+        from repro.kernels import jacobi
+
+        seq = jacobi.sequential()
+        t_loop = seq.body[0]
+        inner = seq.with_body(tuple(t_loop.body))
+        assert try_fuse_adjacent(inner) is None
+
+    def test_semantics_preserved_under_greedy_fusion(self, rng):
+        p = program_with(
+            loop("i", 1, N, [assign(idx("A", i), idx("A", i) * 0.5)]),
+            loop("i", 1, N, [assign(idx("B", i), idx("A", i) + 1.0)]),
+            loop("i", 1, N, [assign(idx("C", i), idx("B", i) - idx("A", i))]),
+        )
+        fused = fuse_all_legal(p)
+        a0 = rng.random(7)
+        x = run_compiled(p, {"N": 7}, {"A": a0})
+        y = run_compiled(fused, {"N": 7}, {"A": a0})
+        for name in ("A", "B", "C"):
+            assert np.allclose(x.arrays[name], y.arrays[name])

@@ -1,0 +1,109 @@
+"""Legality proofs for the Section-4 reorderings.
+
+These tests upgrade the tiled kernels from "validated by execution" to
+"proven legal" wherever the dependences are affine:
+
+- Cholesky: the (kt, j, k, i) tiling needs the (k, j) band permutable;
+- QR: the (it, jt, i, j, k) tiling needs the (i, j) band permutable;
+- Jacobi: raw time tiling is illegal; after the paper's skew it is proven
+  fully permutable;
+- LU: the pivot machinery is non-affine — the conservative analysis must
+  *refuse* to prove it (execution validation covers LU).
+"""
+
+import pytest
+
+from repro.deps.selfdeps import self_dependences
+from repro.kernels import cholesky, jacobi, lu, qr
+from repro.trans.legality import (
+    fully_permutable,
+    fully_permutable_under,
+    permutation_legal,
+    permutation_legal_exact,
+    plausible_vectors,
+)
+from repro.trans.skew import matmul, permutation_matrix, skew_matrix
+
+IDENT3 = [[1, 0, 0], [0, 1, 0], [0, 0, 1]]
+
+
+@pytest.fixture(scope="module")
+def jacobi_nest():
+    return jacobi.fixed().body[-1]
+
+
+@pytest.fixture(scope="module")
+def cholesky_nest():
+    return cholesky.fixed().body[0]
+
+
+class TestSelfDependences:
+    def test_cholesky_dep_inventory(self, cholesky_nest):
+        deps = self_dependences(cholesky_nest)
+        assert deps, "Cholesky carries dependences"
+        kinds = {d.kind for d in deps}
+        assert kinds == {"flow", "anti", "output"}
+
+    def test_directions_are_lex_nonnegative(self, cholesky_nest):
+        for dep in self_dependences(cholesky_nest):
+            for vec in plausible_vectors(dep):
+                # every plausible vector is lex >= 0 by construction
+                lead = next((c for c in vec if c != 0), 0)
+                assert lead >= 0
+
+    def test_jacobi_time_carried_dependence(self, jacobi_nest):
+        deps = self_dependences(jacobi_nest)
+        # some dependence is carried by t with a negative space component —
+        # the reason raw time tiling is illegal.
+        assert any(
+            "<" in d.directions[0] and ">" in d.directions[1] | d.directions[2]
+            for d in deps
+        )
+
+
+class TestCholesky:
+    def test_interchange_j_k_proven(self, cholesky_nest):
+        assert permutation_legal_exact(cholesky_nest, (1, 0, 2))
+        assert permutation_legal(cholesky_nest, (1, 0, 2))
+
+    def test_fully_permutable(self, cholesky_nest):
+        assert fully_permutable(cholesky_nest)
+        assert fully_permutable_under(cholesky_nest, IDENT3)
+
+
+class TestQR:
+    def test_tiling_band_i_j_permutable(self):
+        nest = qr.fixed().body[0]
+        assert fully_permutable(nest, band=[0, 1])
+
+    def test_k_not_interchangeable_to_front(self):
+        nest = qr.fixed().body[0]
+        # moving k outermost reverses the X flow dependences
+        assert not permutation_legal_exact(nest, (2, 0, 1))
+
+
+class TestJacobi:
+    def test_raw_not_permutable(self, jacobi_nest):
+        assert not fully_permutable_under(jacobi_nest, IDENT3)
+
+    def test_paper_skew_proven_permutable(self, jacobi_nest):
+        U = matmul(
+            permutation_matrix((1, 2, 0)),
+            skew_matrix(3, {1: {0: 1}, 2: {0: 1}}),
+        )
+        assert fully_permutable_under(jacobi_nest, U)
+
+    def test_skew_without_permute_also_permutable(self, jacobi_nest):
+        U = skew_matrix(3, {1: {0: 1}, 2: {0: 1}})
+        assert fully_permutable_under(jacobi_nest, U)
+
+
+class TestLU:
+    def test_conservative_analysis_declines(self):
+        nest = lu.fixed().body[0]
+        # With the fuzzy pivot row, the analysis must not *prove* the
+        # k-tiling band permutable — LU stays execution-validated.
+        assert not fully_permutable(
+            nest, band=[0, 1], value_ranges=lu.VALUE_RANGES,
+            scalars=frozenset({"temp", "m", "d"}),
+        )

@@ -1,0 +1,88 @@
+"""Unit tests for the rectangular tiling code generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TransformError
+from repro.exec import run_compiled
+from repro.ir.builder import assign, idx, loop, sym
+from repro.ir.program import ArrayDecl, Program
+from repro.trans.tiling import tile_perfect_nest, tile_program
+
+N, i, j = sym("N"), sym("i"), sym("j")
+
+
+def sweep() -> Program:
+    body = loop(
+        "i", 1, N, [loop("j", 1, N, [assign(idx("A", i, j), idx("A", i, j) + 1.0)])]
+    )
+    return Program("sweep", ("N",), (ArrayDecl("A", (N, N)),), (), (body,))
+
+
+def triangle() -> Program:
+    body = loop(
+        "i", 1, N, [loop("j", i, N, [assign(idx("A", i, j), idx("A", i, j) + 1.0)])]
+    )
+    return Program("tri", ("N",), (ArrayDecl("A", (N, N)),), (), (body,))
+
+
+def run_equal(p, q, n):
+    a = run_compiled(p, {"N": n}).arrays["A"]
+    b = run_compiled(q, {"N": n}).arrays["A"]
+    assert np.allclose(a, b)
+
+
+class TestTileProgram:
+    @pytest.mark.parametrize("tile", [1, 2, 3, 7, 16])
+    def test_rectangular_coverage(self, tile):
+        tiled = tile_program(sweep(), {"i": tile, "j": tile})
+        for n in (1, 5, 8, 13):
+            run_equal(sweep(), tiled, n)
+
+    @pytest.mark.parametrize("tile", [2, 3, 5])
+    def test_triangular_coverage(self, tile):
+        tiled = tile_program(triangle(), {"i": tile, "j": tile})
+        for n in (4, 7, 11):
+            run_equal(triangle(), tiled, n)
+
+    def test_partial_tiling(self):
+        tiled = tile_program(sweep(), {"j": 4})
+        run_equal(sweep(), tiled, 10)
+
+    def test_custom_order(self):
+        tiled = tile_program(sweep(), {"i": 3, "j": 3}, order=["jt", "it", "j", "i"])
+        run_equal(sweep(), tiled, 9)
+
+    def test_tile_loop_steps(self):
+        tiled = tile_program(sweep(), {"i": 4})
+        text = str(tiled)
+        assert "do it = 1, N, 4" in text
+
+    def test_unknown_var_rejected(self):
+        with pytest.raises(TransformError):
+            tile_program(sweep(), {"z": 4})
+
+    def test_bad_tile_size_rejected(self):
+        with pytest.raises(TransformError):
+            tile_program(sweep(), {"i": 0})
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(TransformError):
+            tile_program(sweep(), {"i": 4}, order=["it", "i"])
+
+    def test_name_collision_avoided(self):
+        p = Program(
+            "p",
+            ("N",),
+            (ArrayDecl("A", (N, N)), ArrayDecl("it", (N,))),
+            (),
+            sweep().body,
+        )
+        nest, names = tile_perfect_nest(
+            p.body[0], {"i": 2}, reserved=frozenset(p.all_names())
+        )
+        assert names["i"] != "it"
+
+    def test_non_loop_rejected(self):
+        with pytest.raises(TransformError):
+            tile_perfect_nest(assign("x", 1), {"i": 2})

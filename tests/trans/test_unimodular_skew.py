@@ -1,0 +1,90 @@
+"""Unit tests for unimodular transforms, skewing and permutation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TransformError
+from repro.exec import run_compiled
+from repro.ir.builder import assign, idx, loop, sym
+from repro.ir.program import ArrayDecl, Program
+from repro.trans.skew import matmul, permutation_matrix, skew_matrix
+from repro.trans.unimodular import _invert_unimodular, unimodular_transform
+
+N, i, j = sym("N"), sym("i"), sym("j")
+
+
+def writes_order() -> Program:
+    # B(i,j) = i * 100 + j records visit coordinates; order-insensitive
+    # (each element written once), so any unimodular remap is legal.
+    body = loop(
+        "i", 1, N, [loop("j", 1, N, [assign(idx("B", i, j), i * 100 + j)])]
+    )
+    return Program("w", ("N",), (ArrayDecl("B", (N, N)),), (), (body,))
+
+
+class TestInverse:
+    def test_identity(self):
+        assert _invert_unimodular([[1, 0], [0, 1]]) == [[1, 0], [0, 1]]
+
+    def test_skew_inverse(self):
+        inv = _invert_unimodular([[1, 0], [1, 1]])
+        assert inv == [[1, 0], [-1, 1]]
+
+    def test_non_unimodular_rejected(self):
+        with pytest.raises(TransformError):
+            _invert_unimodular([[2, 0], [0, 1]])
+
+    def test_singular_rejected(self):
+        with pytest.raises(TransformError):
+            _invert_unimodular([[1, 1], [1, 1]])
+
+
+class TestTransform:
+    @pytest.mark.parametrize(
+        "U",
+        [
+            [[1, 0], [0, 1]],
+            [[0, 1], [1, 0]],          # interchange
+            [[1, 0], [1, 1]],          # skew
+            [[1, 1], [0, 1]],          # skew other way
+        ],
+    )
+    def test_semantics_preserved(self, U):
+        p = writes_order()
+        q = unimodular_transform(p, U, new_names=("u", "v"))
+        for n in (3, 6, 9):
+            a = run_compiled(p, {"N": n}).arrays["B"]
+            b = run_compiled(q, {"N": n}).arrays["B"]
+            assert np.allclose(a, b)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(TransformError):
+            unimodular_transform(writes_order(), [[1]])
+
+
+class TestSkewHelpers:
+    def test_skew_matrix(self):
+        U = skew_matrix(3, {1: {0: 1}, 2: {0: 1}})
+        assert U == [[1, 0, 0], [1, 1, 0], [1, 0, 1]]
+
+    def test_diagonal_skew_rejected(self):
+        with pytest.raises(TransformError):
+            skew_matrix(2, {0: {0: 1}})
+
+    def test_permutation_matrix(self):
+        P = permutation_matrix((1, 2, 0))
+        assert P == [[0, 1, 0], [0, 0, 1], [1, 0, 0]]
+
+    def test_bad_permutation(self):
+        with pytest.raises(TransformError):
+            permutation_matrix((0, 0, 1))
+
+    def test_matmul(self):
+        assert matmul([[1, 1], [0, 1]], [[1, 0], [1, 1]]) == [[2, 1], [1, 1]]
+
+    def test_composite_jacobi_matrix_unimodular(self):
+        U = matmul(
+            permutation_matrix((1, 2, 0)),
+            skew_matrix(3, {1: {0: 1}, 2: {0: 1}}),
+        )
+        _invert_unimodular(U)  # must not raise
