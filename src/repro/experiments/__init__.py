@@ -16,6 +16,8 @@
 - :mod:`repro.experiments.ablations` — design-choice studies beyond the
   paper (tile-size policy, skewing, copy widening, associativity,
   guard-cleanup contribution);
+- :mod:`repro.experiments.pipeline_report` — per-pass build evidence
+  (wall time, IR sizes) for every registered variant recipe;
 - :mod:`repro.experiments.report` — markdown + CSV artefact writer.
 
 Run from the command line::
@@ -24,11 +26,19 @@ Run from the command line::
     python -m repro.experiments all --quick
 """
 
-from repro.experiments.runner import VariantMeasurement, measure_variant, run_pair
+from repro.experiments.runner import (
+    VariantMeasurement,
+    build_program,
+    clear_caches,
+    measure_variant,
+    run_pair,
+)
 from repro.experiments.sweep import SweepConfig, default_config
 
 __all__ = [
     "VariantMeasurement",
+    "build_program",
+    "clear_caches",
     "measure_variant",
     "run_pair",
     "SweepConfig",

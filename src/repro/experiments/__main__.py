@@ -18,8 +18,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "target",
         choices=[
-            "figure5", "figure6", "figure7", "figure8",
-            "table1", "jacobi", "ablations", "paperpoint", "crossover", "all",
+            "figure5", "figure6", "figure7", "figure8", "table1", "jacobi",
+            "ablations", "paperpoint", "crossover", "pipeline", "all",
         ],
     )
     mode = parser.add_mutually_exclusive_group()
@@ -72,6 +72,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments import crossover
 
         outputs.append(crossover.main(config))
+    if args.target == "pipeline":
+        from repro.experiments import pipeline_report
+
+        outputs.append(pipeline_report.main(config))
     print("\n\n".join(outputs))
     return 0
 

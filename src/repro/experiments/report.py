@@ -12,7 +12,13 @@ import io
 from dataclasses import asdict
 from pathlib import Path
 
-from repro.experiments import figure5, figure678, jacobi_stats, table1
+from repro.experiments import (
+    figure5,
+    figure678,
+    jacobi_stats,
+    pipeline_report,
+    table1,
+)
 from repro.experiments.sweep import SweepConfig, default_config
 
 
@@ -78,6 +84,13 @@ def write_all(
     md = out / "jacobi_stats.md"
     md.write_text(jacobi_stats.render(js_rows) + "\n")
     written["jacobi_stats"] = md
+
+    # Per-pass pipeline evidence (build provenance for every variant).
+    pl_reports = pipeline_report.generate(config)
+    _write_csv(out / "pipeline.csv", pipeline_report.rows(pl_reports))
+    md = out / "pipeline.md"
+    md.write_text(pipeline_report.render(pl_reports) + "\n")
+    written["pipeline"] = md
 
     # Configuration provenance.
     (out / "config.md").write_text(

@@ -1,13 +1,20 @@
 """Running kernel variants under the machine model.
 
-``measure_variant`` is the single code path every figure uses: build the
-variant program, compile it with tracing, run it on deterministic inputs,
-replay the traces through the simulated Octane2, and return the
-:class:`~repro.machine.perfcounters.PerfReport`.
+``measure_variant`` is the single code path every figure uses: resolve the
+variant through the **recipe registry** (:mod:`repro.kernels.recipes`),
+build its program with the :class:`~repro.pipeline.manager.PassManager`
+(keeping the per-pass timing report), compile with tracing, run on
+deterministic inputs, replay the traces through the simulated Octane2, and
+return the :class:`~repro.machine.perfcounters.PerfReport`.
 
-Measurements are memoised in-process and, optionally, on disk
-(``REPRO_CACHE_DIR``; set ``REPRO_NO_CACHE=1`` to disable) — a sweep point
-costs seconds, and the benchmark suite re-runs them often.
+Measurements are memoised in-process (capped LRU; ``clear_caches()``
+resets) and, optionally, on disk (``REPRO_CACHE_DIR``; set
+``REPRO_NO_CACHE=1`` to disable). Disk-cache keys embed a **content
+fingerprint** of the recipe, the emitted program, and the machine config
+(:func:`repro.pipeline.recipe.measurement_fingerprint`) — any change to a
+pass parameter, the emitted code, or the cost model changes the filename,
+so stale entries are simply never read again. No hand-bumped version tag
+to forget.
 """
 
 from __future__ import annotations
@@ -19,13 +26,15 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.errors import ReproError
 from repro.exec.compiled import CompiledProgram
-from repro.kernels.registry import get_kernel
-from repro.machine.perfcounters import PerfReport, measure
 from repro.experiments.sweep import SweepConfig
-
-_VARIANTS = ("seq", "fused", "fixed", "tiled", "tiled_sunk")
+from repro.ir.program import Program
+from repro.kernels.registry import get_kernel, get_recipe
+from repro.machine.perfcounters import PerfReport, measure
+from repro.pipeline.manager import PassManager, PipelineReport
+from repro.pipeline.passes import PassContext
+from repro.pipeline.recipe import VariantRecipe, measurement_fingerprint
+from repro.utils.caching import LRUCache
 
 
 @dataclass(frozen=True)
@@ -37,26 +46,29 @@ class VariantMeasurement:
     n: int
     tile: int | None
     report: PerfReport
+    #: Per-pass build evidence (None when the measurement came from cache
+    #: without a fresh in-process build this call — never the case today,
+    #: since the fingerprint requires building the program).
+    pipeline: PipelineReport | None = None
 
 
-_memo: dict[tuple, VariantMeasurement] = {}
-_compiled: dict[tuple, CompiledProgram] = {}
+_memo: LRUCache = LRUCache(maxsize=4096)
+_built: LRUCache = LRUCache(maxsize=256)
+_compiled: LRUCache = LRUCache(maxsize=256)
+
+
+def clear_caches() -> None:
+    """Drop every in-process memo (measurements, built programs,
+    compiled engines). Disk cache is untouched."""
+    _memo.clear()
+    _built.clear()
+    _compiled.clear()
 
 
 def _cache_dir() -> Path | None:
     if os.environ.get("REPRO_NO_CACHE", "") == "1":
         return None
     return Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
-
-
-def _cache_key(kernel: str, variant: str, n: int, tile: int | None, config: SweepConfig) -> str:
-    costs = config.machine.costs
-    cost_tag = (f"v4-ic{costs.instruction_cycles}-l1{costs.l1_miss_cycles}"
-                f"-l2{costs.l2_miss_cycles}-r{config.machine.registers}")
-    return (
-        f"{kernel}-{variant}-N{n}-T{tile}-{config.machine.name}"
-        f"-M{config.jacobi_m}-s{config.seed}-{cost_tag}"
-    )
 
 
 def _load_cached(key: str) -> PerfReport | None:
@@ -81,20 +93,27 @@ def _store_cached(key: str, report: PerfReport) -> None:
     (d / f"{key}.json").write_text(json.dumps(report.as_dict()))
 
 
-def _build_program(kernel: str, variant: str, tile: int | None):
-    mod = get_kernel(kernel)
-    if variant == "seq":
-        return mod.sequential()
-    if variant == "fused":
-        return mod.fused_nest().to_program()
-    if variant == "fixed":
-        return mod.fixed()
-    if variant == "tiled":
-        return mod.tiled(tile if tile is not None else 8)
-    if variant == "tiled_sunk":
-        # guards left as code sinking produced them (paper Figs. 7-8 shape)
-        return mod.tiled(tile if tile is not None else 8, undo_sinking=False)
-    raise ReproError(f"unknown variant {variant!r}; choose from {_VARIANTS}")
+def build_program(
+    kernel: str, variant: str, *, tile: int | None = None,
+    time_tile: int | None = None,
+) -> tuple[Program, PipelineReport, VariantRecipe]:
+    """Build one variant through its registered recipe (memoised).
+
+    Raises :class:`~repro.errors.ReproError` for unknown kernels/variants,
+    listing the registered choices.
+    """
+    recipe = get_recipe(kernel, variant)
+
+    def compute():
+        ctx = PassContext(
+            kernel=get_kernel(kernel), tile=tile, time_tile=time_tile
+        )
+        return PassManager().build(recipe, ctx)
+
+    program, pipeline = _built.get_or_compute(
+        (kernel, variant, tile, time_tile), compute
+    )
+    return program, pipeline, recipe
 
 
 def _params_for(kernel: str, n: int, config: SweepConfig) -> dict[str, int]:
@@ -115,32 +134,39 @@ def measure_variant(
     """Measure one (kernel, variant, N) point (memoised)."""
     if variant in ("tiled", "tiled_sunk") and tile is None:
         tile = config.tile_for(n)
-    key = _cache_key(kernel, variant, n, tile, config)
-    memo_key = (key,)
-    if memo_key in _memo:
-        return _memo[memo_key]
+    program, pipeline, recipe = build_program(kernel, variant, tile=tile)
+    params = _params_for(kernel, n, config)
+    key = (
+        f"{kernel}-{variant}-N{n}-"
+        + measurement_fingerprint(
+            recipe,
+            program,
+            config.machine,
+            {"params": params, "tile": tile, "seed": config.seed},
+        )
+    )
+    if key in _memo:
+        return _memo[key]
 
     cached = _load_cached(key)
     if cached is not None:
-        result = VariantMeasurement(kernel, variant, n, tile, cached)
-        _memo[memo_key] = result
+        result = VariantMeasurement(kernel, variant, n, tile, cached, pipeline)
+        _memo[key] = result
         return result
 
     mod = get_kernel(kernel)
-    params = _params_for(kernel, n, config)
     rng = np.random.default_rng(config.seed)
     inputs = mod.make_inputs(params, rng)
 
-    compile_key = (kernel, variant, tile)
-    cp = _compiled.get(compile_key)
-    if cp is None:
-        cp = CompiledProgram(_build_program(kernel, variant, tile), trace=True)
-        _compiled[compile_key] = cp
+    def compile_program():
+        return CompiledProgram(program, trace=True)
+
+    cp = _compiled.get_or_compute((kernel, variant, tile), compile_program)
     run = cp.run(params, inputs)
     report = measure(run, cp.program, params, config.machine)
     _store_cached(key, report)
-    result = VariantMeasurement(kernel, variant, n, tile, report)
-    _memo[memo_key] = result
+    result = VariantMeasurement(kernel, variant, n, tile, report, pipeline)
+    _memo[key] = result
     return result
 
 

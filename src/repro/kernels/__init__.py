@@ -16,6 +16,20 @@ All variants are validated against each other by the test suite (the
 executable Theorems 1–2).
 """
 
-from repro.kernels.registry import KERNELS, get_kernel
+from repro.kernels.registry import (
+    ALL_KERNELS,
+    EXTENSION_KERNELS,
+    KERNELS,
+    get_kernel,
+    get_recipe,
+    variants_for,
+)
 
-__all__ = ["KERNELS", "get_kernel"]
+__all__ = [
+    "ALL_KERNELS",
+    "EXTENSION_KERNELS",
+    "KERNELS",
+    "get_kernel",
+    "get_recipe",
+    "variants_for",
+]

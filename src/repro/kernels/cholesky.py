@@ -17,10 +17,10 @@ import numpy as np
 from repro.ir import ArrayDecl, Program, assign, idx, loop, sym
 from repro.ir.builder import sqrt
 from repro.kernels.inputs import default_rng, spd_matrix
+from repro.pipeline.passes import FusionSpec
 from repro.trans.fixdeps import FixDepsReport, fix_dependences
-from repro.trans.fusion import NestEmbedding, fuse_siblings
+from repro.trans.fusion import NestEmbedding
 from repro.trans.model import FusedNest
-from repro.trans.tiling import tile_program
 
 NAME = "cholesky"
 PARAMS = ("N",)
@@ -28,6 +28,18 @@ DEFAULT_PARAMS = {"N": 32}
 
 _N = sym("N")
 _k, _j, _i = sym("k"), sym("j"), sym("i")
+
+#: The Figure-3(c) fused form: dims (j, i), triangular ``i >= j``.
+FUSION = FusionSpec(
+    fused_loops=(("j", _k + 1, _N), ("i", _j, _N)),
+    embeddings=(
+        NestEmbedding(placement={"j": _k + 1, "i": _k + 1}),  # sqrt
+        NestEmbedding(var_map={"i": "i"}, placement={"j": _k + 1}),  # scale
+        NestEmbedding(var_map={"j": "j", "i": "i"}),  # update
+    ),
+    context_depth=1,
+    epilogue_from=1,
+)
 
 
 def sequential() -> Program:
@@ -80,17 +92,10 @@ def fusable() -> Program:
 
 
 def fused_nest() -> FusedNest:
-    """The Figure-3(c) fused form: dims (j, i), triangular ``i >= j``."""
-    emb_sqrt = NestEmbedding(placement={"j": _k + 1, "i": _k + 1})
-    emb_scale = NestEmbedding(var_map={"i": "i"}, placement={"j": _k + 1})
-    emb_update = NestEmbedding(var_map={"j": "j", "i": "i"})
-    return fuse_siblings(
-        fusable(),
-        [("j", _k + 1, _N), ("i", _j, _N)],
-        [emb_sqrt, emb_scale, emb_update],
-        context_depth=1,
-        epilogue_from=1,
-    )
+    """The Figure-3(c) fused form (:data:`FUSION` on :func:`fusable`)."""
+    from repro.kernels.recipes import build_fused_nest
+
+    return build_fused_nest(NAME)
 
 
 def fixdeps_report() -> FixDepsReport:
@@ -100,19 +105,16 @@ def fixdeps_report() -> FixDepsReport:
 
 def fixed() -> Program:
     """The Figure-4(c) program."""
-    return fixdeps_report().program("cholesky_fixed")
+    from repro.kernels.recipes import build_variant
+
+    return build_variant(NAME, "fixed")
 
 
 def tiled(tile: int = 8, *, undo_sinking: bool = True) -> Program:
     """Sec. 4: tile the outermost ``k`` loop (point loop sunk inside j)."""
-    tiled_prog = tile_program(
-        fixed(),
-        {"k": tile},
-        order=["kt", "j", "k", "i"],
-        nest_index=0,
-        name="cholesky_tiled",
-    )
-    return _undo_sinking(tiled_prog) if undo_sinking else tiled_prog
+    from repro.kernels.recipes import build_variant
+
+    return build_variant(NAME, "tiled" if undo_sinking else "tiled_sunk", tile=tile)
 
 
 def make_inputs(params: Mapping[str, int], rng=None) -> dict[str, np.ndarray]:
@@ -133,14 +135,3 @@ def reference(params: Mapping[str, int], inputs: Mapping[str, np.ndarray]) -> di
     out = np.triu(a0, 1) + lower
     assert out.shape == (n, n)
     return {"A": out}
-
-
-def _undo_sinking(program: Program) -> Program:
-    """Paper Sec. 4: "the effect of code sinking is undone as much as
-    possible" — hoist invariant guards and kill the dead copies."""
-    from repro.trans.cleanup import propagate_guard_facts
-    from repro.trans.splitting import split_point_guards
-    from repro.trans.unswitch import unswitch_invariant_guards
-
-    cleaned = propagate_guard_facts(unswitch_invariant_guards(program))
-    return split_point_guards(cleaned)

@@ -20,8 +20,6 @@ import numpy as np
 
 from repro.ir import ArrayDecl, Program, assign, idx, loop, sym
 from repro.kernels.inputs import default_rng, grid_field
-from repro.trans.skew import skew_and_permute
-from repro.trans.tiling import tile_program
 
 NAME = "gauss_seidel"
 PARAMS = ("N", "M")
@@ -82,22 +80,9 @@ ORDER = (0, 1, 2)
 
 def tiled(tile: int = 8, *, time_tile: int | None = None, undo_sinking: bool = True) -> Program:
     """Skew the space loops by t and tile all three loops."""
-    skewed = skew_and_permute(
-        sequential(),
-        skews=SKEWS,
-        order=ORDER,
-        nest_index=0,
-        new_names=("tt", "ii", "jj"),
-        name="gauss_seidel_skewed",
-    )
-    sizes = {"tt": time_tile or tile, "ii": tile, "jj": tile}
-    return tile_program(
-        skewed,
-        sizes,
-        order=["ttt", "iit", "jjt", "tt", "ii", "jj"],
-        nest_index=0,
-        name="gauss_seidel_tiled",
-    )
+    from repro.kernels.recipes import build_variant
+
+    return build_variant(NAME, "tiled", tile=tile, time_tile=time_tile)
 
 
 def fusable() -> Program:

@@ -15,14 +15,13 @@ from typing import Mapping
 
 import numpy as np
 
-from repro.ir import ArrayDecl, Program, assign, idx, loop, sym
+from repro.ir import ArrayDecl, Program, assign, idx, loop, sym, val
 from repro.kernels.inputs import default_rng, grid_field
+from repro.pipeline.passes import FusionSpec
 from repro.trans.cleanup import scalarize_arrays
 from repro.trans.fixdeps import FixDepsReport, fix_dependences
-from repro.trans.fusion import NestEmbedding, fuse_siblings
+from repro.trans.fusion import NestEmbedding
 from repro.trans.model import FusedNest
-from repro.trans.skew import skew_and_permute
-from repro.trans.tiling import tile_program
 
 NAME = "jacobi"
 PARAMS = ("N", "M")
@@ -30,6 +29,15 @@ DEFAULT_PARAMS = {"N": 32, "M": 8}
 
 _N, _M = sym("N"), sym("M")
 _t, _i, _j = sym("t"), sym("i"), sym("j")
+
+_IDENTITY = NestEmbedding(var_map={"i": "i", "j": "j"})
+
+#: The Figure-3(d) fused form: both sweeps aligned identically.
+FUSION = FusionSpec(
+    fused_loops=(("i", val(2), _N - 1), ("j", val(2), _N - 1)),
+    embeddings=(_IDENTITY, _IDENTITY),
+    context_depth=1,
+)
 
 
 def _stencil_value():
@@ -66,20 +74,18 @@ def fusable() -> Program:
 
 
 def fused_nest() -> FusedNest:
-    """The Figure-3(d) fused form: both sweeps aligned identically."""
-    from repro.ir import val
+    """The Figure-3(d) fused form (:data:`FUSION` on :func:`fusable`)."""
+    from repro.kernels.recipes import build_fused_nest
 
-    identity = NestEmbedding(var_map={"i": "i", "j": "j"})
-    return fuse_siblings(
-        fusable(),
-        [("i", val(2), _N - 1), ("j", val(2), _N - 1)],
-        [identity, identity],
-        context_depth=1,
-    )
+    return build_fused_nest(NAME)
 
 
 def fixed(*, simplify_copies: bool = True, scalarize: bool = True) -> Program:
     """The Figure-4(d) form: copies inserted, ``L`` scalarised."""
+    if simplify_copies and scalarize:
+        from repro.kernels.recipes import build_variant
+
+        return build_variant(NAME, "fixed")
     report = fix_dependences(fused_nest(), simplify_copies=simplify_copies)
     program = report.program("jacobi_fixed")
     if scalarize:
@@ -99,35 +105,9 @@ def tiled(tile: int = 8, *, time_tile: int | None = None, undo_sinking: bool = T
     ``undo_sinking`` is accepted for interface uniformity; the skewed
     Jacobi carries no guards ("no extra conditionals are introduced").
     """
-    program = fixed()
-    # The fused time nest sits after the ElimRW pre-copy loops.
-    nest_index = _nest_index(program)
-    skewed = skew_and_permute(
-        program,
-        skews={1: {0: 1}, 2: {0: 1}},
-        order=(1, 2, 0),
-        nest_index=nest_index,
-        new_names=("ii", "jj", "tt"),
-        name="jacobi_skewed",
-    )
-    sizes = {"ii": tile, "jj": tile, "tt": time_tile or tile}
-    out = tile_program(
-        skewed,
-        sizes,
-        order=["iit", "jjt", "ttt", "ii", "jj", "tt"],
-        nest_index=nest_index,
-        name="jacobi_tiled",
-    )
-    return out
+    from repro.kernels.recipes import build_variant
 
-
-def _nest_index(program: Program) -> int:
-    from repro.ir.stmt import Loop
-
-    for pos, stmt in enumerate(program.body):
-        if isinstance(stmt, Loop) and stmt.var == "t":
-            return pos
-    raise ValueError("no time loop found")
+    return build_variant(NAME, "tiled", tile=tile, time_tile=time_tile)
 
 
 def make_inputs(params: Mapping[str, int], rng=None) -> dict[str, np.ndarray]:

@@ -36,11 +36,11 @@ from repro.ir import (
 )
 from repro.ir.builder import fabs
 from repro.kernels.inputs import default_rng
+from repro.pipeline.passes import FusionSpec
 from repro.trans.fixdeps import FixDepsReport, fix_dependences
-from repro.trans.fusion import NestEmbedding, fuse_siblings
+from repro.trans.fusion import NestEmbedding
 from repro.trans.model import FusedNest
 from repro.trans.peel import peel_last
-from repro.trans.tiling import tile_program
 
 NAME = "lu"
 PARAMS = ("N",)
@@ -52,6 +52,27 @@ _m, _temp, _d = sym("m"), sym("temp"), sym("d")
 
 #: The pivot row is always found in the trailing column: k <= m <= N.
 VALUE_RANGES = {"m": ValueRange(_k, _N)}
+
+_AT_ORIGIN = NestEmbedding(placement={"j": _k + 1, "i": _k})
+
+#: Fused dims (j: k+1..N, i: k..N). Differs from Fig. 3a only in the swap
+#: embedding: trailing-column swaps ride the fused ``j`` dimension at
+#: ``i = k`` (lazy per-column swaps) instead of the ``i`` dimension at
+#: ``j = k+1``.
+FUSION = FusionSpec(
+    fused_loops=(("j", _k + 1, _N), ("i", _k, _N)),
+    embeddings=(
+        _AT_ORIGIN,                                                 # temp = 0
+        _AT_ORIGIN,                                                 # m = k
+        NestEmbedding(var_map={"i": "i"}, placement={"j": _k + 1}),  # search
+        _AT_ORIGIN,                                                 # swap col k
+        NestEmbedding(var_map={"j": "j"}, placement={"i": _k}),     # swap cols
+        NestEmbedding(var_map={"i": "i"}, placement={"j": _k + 1}),  # scale
+        NestEmbedding(var_map={"j": "j", "i": "i"}),               # update
+    ),
+    context_depth=1,
+    epilogue_from=1,
+)
 
 
 def _step_items():
@@ -165,29 +186,10 @@ def fusable() -> Program:
 
 
 def fused_nest() -> FusedNest:
-    """The fused form: dims (j: k+1..N, i: k..N).
+    """The fused form (:data:`FUSION` applied to :func:`fusable`)."""
+    from repro.kernels.recipes import build_fused_nest
 
-    Differs from Fig. 3a only in the swap embedding: trailing-column swaps
-    ride the fused ``j`` dimension at ``i = k`` (lazy per-column swaps)
-    instead of the ``i`` dimension at ``j = k+1``.
-    """
-    at_origin = NestEmbedding(placement={"j": _k + 1, "i": _k})
-    embeddings = [
-        at_origin,                                                 # temp = 0
-        at_origin,                                                 # m = k
-        NestEmbedding(var_map={"i": "i"}, placement={"j": _k + 1}),  # search
-        at_origin,                                                 # swap col k
-        NestEmbedding(var_map={"j": "j"}, placement={"i": _k}),     # swap cols
-        NestEmbedding(var_map={"i": "i"}, placement={"j": _k + 1}),  # scale
-        NestEmbedding(var_map={"j": "j", "i": "i"}),               # update
-    ]
-    return fuse_siblings(
-        fusable(),
-        [("j", _k + 1, _N), ("i", _k, _N)],
-        embeddings,
-        context_depth=1,
-        epilogue_from=1,
-    )
+    return build_fused_nest(NAME)
 
 
 def fixdeps_report() -> FixDepsReport:
@@ -197,7 +199,9 @@ def fixdeps_report() -> FixDepsReport:
 
 def fixed() -> Program:
     """The Figure-4(a) form (pivot search as the ``P`` sweep loop)."""
-    return fixdeps_report().program("lu_fixed")
+    from repro.kernels.recipes import build_variant
+
+    return build_variant(NAME, "fixed")
 
 
 def tiled(tile: int = 8, *, undo_sinking: bool = True) -> Program:
@@ -207,17 +211,9 @@ def tiled(tile: int = 8, *, undo_sinking: bool = True) -> Program:
     inside ``j``, searches of different steps interleave with the lazy
     column swaps, so each step needs its own pivot cell.
     """
-    from repro.trans.expand import expand_scalar
+    from repro.kernels.recipes import build_variant
 
-    program = expand_scalar(fixed(), "m", "k", _N)
-    tiled_prog = tile_program(
-        program,
-        {"k": tile},
-        order=["kt", "j", "k", "i"],
-        nest_index=0,
-        name="lu_tiled",
-    )
-    return _undo_sinking(tiled_prog) if undo_sinking else tiled_prog
+    return build_variant(NAME, "tiled" if undo_sinking else "tiled_sunk", tile=tile)
 
 
 def make_inputs(params: Mapping[str, int], rng=None) -> dict[str, np.ndarray]:
@@ -250,14 +246,3 @@ def reference(params: Mapping[str, int], inputs: Mapping[str, np.ndarray]) -> di
             a[k + 1 :, k] /= a[k, k]
             a[k + 1 :, k + 1 :] -= np.outer(a[k + 1 :, k], a[k, k + 1 :])
     return {"A": a}
-
-
-def _undo_sinking(program: Program) -> Program:
-    """Paper Sec. 4: "the effect of code sinking is undone as much as
-    possible" — hoist invariant guards and kill the dead copies."""
-    from repro.trans.cleanup import propagate_guard_facts
-    from repro.trans.splitting import split_point_guards
-    from repro.trans.unswitch import unswitch_invariant_guards
-
-    cleaned = propagate_guard_facts(unswitch_invariant_guards(program))
-    return split_point_guards(cleaned)

@@ -30,10 +30,10 @@ import numpy as np
 from repro.ir import ArrayDecl, Program, ScalarDecl, assign, idx, loop, sym
 from repro.ir.builder import sqrt
 from repro.kernels.inputs import default_rng
+from repro.pipeline.passes import FusionSpec
 from repro.trans.fixdeps import FixDepsReport, fix_dependences
-from repro.trans.fusion import NestEmbedding, fuse_siblings
+from repro.trans.fusion import NestEmbedding
 from repro.trans.model import FusedNest
-from repro.trans.tiling import tile_program
 
 NAME = "qr"
 PARAMS = ("N",)
@@ -42,6 +42,25 @@ DEFAULT_PARAMS = {"N": 32}
 _N = sym("N")
 _i, _j, _k = sym("i"), sym("j"), sym("k")
 _norm, _norm2, _asqr = sym("norm"), sym("norm2"), sym("asqr")
+
+_AT_ORIGIN = NestEmbedding(placement={"j": _i, "k": _i})
+
+#: The Figure-3(b) fused form: dims (j, k), both from i to N.
+FUSION = FusionSpec(
+    fused_loops=(("j", _i, _N), ("k", _i, _N)),
+    embeddings=(
+        _AT_ORIGIN,                                               # norm = 0
+        NestEmbedding(var_map={"j": "k"}, placement={"j": _i}),   # norm +=
+        _AT_ORIGIN,                                               # norm2 = sqrt
+        _AT_ORIGIN,                                               # asqr = ...
+        _AT_ORIGIN,                                               # A(i,i) = ||v||
+        NestEmbedding(var_map={"j": "j"}, placement={"k": _i}),   # scale
+        NestEmbedding(var_map={"j": "j"}, placement={"k": _i}),   # X init
+        NestEmbedding(var_map={"j": "j", "k": "k"}),              # X acc
+        NestEmbedding(var_map={"j": "j", "k": "k"}),              # update
+    ),
+    context_depth=1,
+)
 
 
 def _decls():
@@ -142,25 +161,10 @@ def fusable() -> Program:
 
 
 def fused_nest() -> FusedNest:
-    """The Figure-3(b) fused form: dims (j, k), both from i to N."""
-    at_origin = NestEmbedding(placement={"j": _i, "k": _i})
-    embeddings = [
-        at_origin,                                                # norm = 0
-        NestEmbedding(var_map={"j": "k"}, placement={"j": _i}),   # norm +=
-        at_origin,                                                # norm2 = sqrt
-        at_origin,                                                # asqr = ...
-        at_origin,                                                # A(i,i) = ||v||
-        NestEmbedding(var_map={"j": "j"}, placement={"k": _i}),   # scale
-        NestEmbedding(var_map={"j": "j"}, placement={"k": _i}),   # X init
-        NestEmbedding(var_map={"j": "j", "k": "k"}),              # X acc
-        NestEmbedding(var_map={"j": "j", "k": "k"}),              # update
-    ]
-    return fuse_siblings(
-        fusable(),
-        [("j", _i, _N), ("k", _i, _N)],
-        embeddings,
-        context_depth=1,
-    )
+    """The Figure-3(b) fused form (:data:`FUSION` on :func:`fusable`)."""
+    from repro.kernels.recipes import build_fused_nest
+
+    return build_fused_nest(NAME)
 
 
 def fixdeps_report() -> FixDepsReport:
@@ -170,19 +174,16 @@ def fixdeps_report() -> FixDepsReport:
 
 def fixed() -> Program:
     """The Figure-4(b) form."""
-    return fixdeps_report().program("qr_fixed")
+    from repro.kernels.recipes import build_variant
+
+    return build_variant(NAME, "fixed")
 
 
 def tiled(tile: int = 8, *, undo_sinking: bool = True) -> Program:
     """Sec. 4: tile the outermost ``i`` and ``j`` loops."""
-    tiled_prog = tile_program(
-        fixed(),
-        {"i": tile, "j": tile},
-        order=["it", "jt", "i", "j", "k"],
-        nest_index=0,
-        name="qr_tiled",
-    )
-    return _undo_sinking(tiled_prog) if undo_sinking else tiled_prog
+    from repro.kernels.recipes import build_variant
+
+    return build_variant(NAME, "tiled" if undo_sinking else "tiled_sunk", tile=tile)
 
 
 def make_inputs(params: Mapping[str, int], rng=None) -> dict[str, np.ndarray]:
@@ -217,14 +218,3 @@ def reference(params: Mapping[str, int], inputs: Mapping[str, np.ndarray]) -> di
             x[i + 1 :, i] = a[i:, i + 1 :].T @ a[i:, i]
             a[i + 1 :, i + 1 :] -= np.outer(a[i + 1 :, i], x[i + 1 :, i])
     return {"A": a, "X": x}
-
-
-def _undo_sinking(program: Program) -> Program:
-    """Paper Sec. 4: "the effect of code sinking is undone as much as
-    possible" — hoist invariant guards and kill the dead copies."""
-    from repro.trans.cleanup import propagate_guard_facts
-    from repro.trans.splitting import split_point_guards
-    from repro.trans.unswitch import unswitch_invariant_guards
-
-    cleaned = propagate_guard_facts(unswitch_invariant_guards(program))
-    return split_point_guards(cleaned)

@@ -1,33 +1,81 @@
-"""Kernel lookup by name."""
+"""Kernel lookup by name.
+
+One data-driven table (:data:`_KERNEL_TABLE`) is the single source of
+truth: the :data:`KERNELS` / :data:`EXTENSION_KERNELS` tuples, the error
+message of :func:`get_kernel`, and the recipe registry's kernel set are all
+derived from it.
+"""
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from types import ModuleType
+from typing import Callable, TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.pipeline.recipe import VariantRecipe
 
 
-def _modules() -> dict[str, ModuleType]:
-    from repro.kernels import cholesky, gauss_seidel, jacobi, lu, qr
+@dataclass(frozen=True)
+class KernelEntry:
+    """One registered kernel: import hook + suite classification."""
 
-    return {
-        "lu": lu,
-        "qr": qr,
-        "cholesky": cholesky,
-        "jacobi": jacobi,
-        "gauss_seidel": gauss_seidel,
-    }
+    name: str
+    load: Callable[[], ModuleType]
+    extension: bool = False
 
+
+def _load(module: str) -> Callable[[], ModuleType]:
+    def loader() -> ModuleType:
+        import importlib
+
+        return importlib.import_module(f"repro.kernels.{module}")
+
+    return loader
+
+
+#: Paper's Figure-1 kernels first (the evaluation suite), then extensions
+#: (Sec. 5 mentions Gauss–Seidel as a stencil data shackling cannot handle).
+_KERNEL_TABLE = (
+    KernelEntry("lu", _load("lu")),
+    KernelEntry("qr", _load("qr")),
+    KernelEntry("cholesky", _load("cholesky")),
+    KernelEntry("jacobi", _load("jacobi")),
+    KernelEntry("gauss_seidel", _load("gauss_seidel"), extension=True),
+)
 
 #: Kernel names in the paper's Figure-1 order (the evaluation suite).
-KERNELS = ("lu", "qr", "cholesky", "jacobi")
+KERNELS = tuple(e.name for e in _KERNEL_TABLE if not e.extension)
 
-#: Extension kernels beyond the paper's four (Sec. 5 mentions
-#: Gauss–Seidel as a stencil data shackling cannot handle).
-EXTENSION_KERNELS = ("gauss_seidel",)
+#: Extension kernels beyond the paper's four.
+EXTENSION_KERNELS = tuple(e.name for e in _KERNEL_TABLE if e.extension)
+
+#: Every registered kernel name.
+ALL_KERNELS = KERNELS + EXTENSION_KERNELS
+
+_BY_NAME = {e.name: e for e in _KERNEL_TABLE}
 
 
 def get_kernel(name: str) -> ModuleType:
-    """The kernel module for *name* (lu / qr / cholesky / jacobi)."""
-    mods = _modules()
-    if name not in mods:
-        raise KeyError(f"unknown kernel {name!r}; choose from {sorted(mods)}")
-    return mods[name]
+    """The kernel module for *name* (one of lu / qr / cholesky / jacobi /
+    gauss_seidel)."""
+    entry = _BY_NAME.get(name)
+    if entry is None:
+        raise KeyError(
+            f"unknown kernel {name!r}; choose from {sorted(_BY_NAME)}"
+        )
+    return entry.load()
+
+
+def get_recipe(kernel: str, variant: str) -> "VariantRecipe":
+    """The registered :class:`VariantRecipe` for (kernel, variant)."""
+    from repro.kernels import recipes
+
+    return recipes.get_recipe(kernel, variant)
+
+
+def variants_for(kernel: str) -> tuple[str, ...]:
+    """Registered variant names for *kernel*."""
+    from repro.kernels import recipes
+
+    return recipes.variants_for(kernel)

@@ -1,0 +1,327 @@
+"""``PassManager``: run a recipe, record per-pass evidence, verify it.
+
+Running a :class:`~repro.pipeline.recipe.VariantRecipe` yields the final
+program plus a :class:`PipelineReport` — per-pass wall time, IR-size
+statistics and (optionally) pretty-printed IR snapshots. With
+``verify=True`` the manager additionally checks, at **every pass
+boundary**, on a small-N instance:
+
+1. *engine agreement* — the compiled engine and the tree-walking
+   interpreter produce the same outputs and the same memory/branch/loop
+   event counts for the current program (reusing
+   :mod:`repro.exec.validate`), and
+2. *semantic preservation* — the current program matches the recipe's
+   source program, wherever the pass chain so far is declared
+   semantics-preserving (fusion deliberately breaks semantics until
+   ``FixDeps`` restores them; those boundaries are skipped — measuring the
+   broken fused program is part of the paper's experiment).
+
+A pass that claims ``preserve`` but miscompiles is therefore caught at its
+own boundary with a :class:`~repro.errors.ValidationError`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from repro.errors import ExecutionError, TransformError, ValidationError
+from repro.ir.program import Program
+from repro.ir.stmt import If, Loop, Stmt
+from repro.pipeline.passes import BREAK, RESTORE, PassContext
+from repro.pipeline.recipe import VariantRecipe
+from repro.trans.model import FusedNest
+
+#: Small-N parameter values used for boundary verification.
+VERIFY_PARAMS = {"N": 9, "M": 3}
+
+#: Event counters that both execution engines maintain independently.
+CHECKED_COUNTERS = ("loads", "stores", "branches", "loop_iters")
+
+
+@dataclass(frozen=True)
+class IRStats:
+    """Size of one IR value (program or fused nest)."""
+
+    statements: int
+    loops: int
+    guards: int
+    depth: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.statements} stmts / {self.loops} loops / "
+            f"{self.guards} guards / depth {self.depth}"
+        )
+
+
+def _stmt_stats(stmts, depth: int = 0) -> tuple[int, int, int, int]:
+    statements = loops = guards = 0
+    max_depth = depth
+    for s in stmts:
+        statements += 1
+        if isinstance(s, Loop):
+            loops += 1
+            b = _stmt_stats(s.body, depth + 1)
+            statements += b[0]
+            loops += b[1]
+            guards += b[2]
+            max_depth = max(max_depth, b[3])
+        elif isinstance(s, If):
+            guards += 1
+            for arm in (s.then, s.orelse):
+                b = _stmt_stats(arm, depth)
+                statements += b[0]
+                loops += b[1]
+                guards += b[2]
+                max_depth = max(max_depth, b[3])
+    return statements, loops, guards, max_depth
+
+
+def ir_stats(value: Program | FusedNest) -> IRStats:
+    """Size statistics of an IR value (cheap; no code emission)."""
+    if isinstance(value, Program):
+        return IRStats(*_stmt_stats(value.body))
+    stmts: list[Stmt] = list(value.preamble) + list(value.epilogue)
+    for group in value.groups:
+        stmts.extend(group.prologue)
+        stmts.extend(group.body)
+    statements, loops, guards, depth = _stmt_stats(stmts)
+    return IRStats(
+        statements,
+        loops,
+        guards,
+        depth + len(value.context) + len(value.fused_loops),
+    )
+
+
+@dataclass(frozen=True)
+class PassRecord:
+    """Evidence for one executed pass."""
+
+    name: str
+    seconds: float
+    before: IRStats
+    after: IRStats
+    detail: str = ""
+    verified: bool = False
+    snapshot: str | None = None
+
+
+@dataclass
+class PipelineReport:
+    """Everything a recipe run recorded."""
+
+    recipe: str
+    records: list[PassRecord] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall time summed over all passes."""
+        return sum(r.seconds for r in self.records)
+
+    def as_rows(self) -> list[dict[str, Any]]:
+        """Flat dict rows (CSV-friendly)."""
+        return [
+            {
+                "recipe": self.recipe,
+                "pass": r.name,
+                "seconds": round(r.seconds, 6),
+                "stmts_before": r.before.statements,
+                "stmts_after": r.after.statements,
+                "loops_after": r.after.loops,
+                "guards_after": r.after.guards,
+                "depth_after": r.after.depth,
+                "verified": r.verified,
+                "detail": r.detail,
+            }
+            for r in self.records
+        ]
+
+    def render(self) -> str:
+        """Aligned text table of the per-pass evidence."""
+        from repro.utils.tables import render_table
+
+        rows = [
+            [
+                r.name,
+                r.seconds * 1e3,
+                r.after.statements,
+                r.after.loops,
+                r.after.guards,
+                r.after.depth,
+                "yes" if r.verified else "-",
+                r.detail,
+            ]
+            for r in self.records
+        ]
+        return render_table(
+            ["pass", "ms", "stmts", "loops", "guards", "depth", "verified", "notes"],
+            rows,
+            title=f"Pipeline — {self.recipe} "
+            f"({self.total_seconds * 1e3:.1f} ms total)",
+            float_fmt=",.1f",
+        )
+
+
+def crosscheck_engines(
+    program: Program,
+    params: Mapping[str, int],
+    inputs: Mapping[str, np.ndarray] | None,
+) -> None:
+    """Compiled vs interpreted: same outputs, same event counts."""
+    from repro.exec.compiled import run_compiled
+    from repro.exec.interp import run_interpreted
+    from repro.exec.validate import compare_outputs
+
+    compiled = run_compiled(program, params, inputs)
+    interpreted = run_interpreted(program, params, inputs)
+    problems = compare_outputs(compiled, interpreted, program.outputs)
+    for name in CHECKED_COUNTERS:
+        a = getattr(compiled.counters, name)
+        b = getattr(interpreted.counters, name)
+        if a != b:
+            problems.append(f"counter {name}: compiled {a} vs interpreted {b}")
+    if problems:
+        raise ValidationError(
+            f"engines disagree on {program.name} at {dict(params)}: "
+            + "; ".join(problems)
+        )
+
+
+class PassManager:
+    """Run recipes, record per-pass evidence, optionally verify boundaries.
+
+    ``verify_params`` / ``input_factory`` override the small-N instance the
+    boundary checks run on; by default they come from the kernel module in
+    the :class:`~repro.pipeline.passes.PassContext` (its ``PARAMS`` and
+    ``make_inputs``).
+    """
+
+    def __init__(
+        self,
+        *,
+        verify: bool = False,
+        verify_params: Mapping[str, int] | None = None,
+        input_factory: Callable[[Mapping[str, int]], Mapping[str, np.ndarray]] | None = None,
+        snapshots: bool = False,
+    ):
+        self.verify = verify
+        self.verify_params = dict(verify_params) if verify_params else None
+        self.input_factory = input_factory
+        self.snapshots = snapshots
+
+    # -- verification helpers --------------------------------------------
+    def _instance(self, ctx: PassContext):
+        params = self.verify_params
+        if params is None:
+            if ctx.kernel is None:
+                raise TransformError(
+                    "PassManager(verify=True) needs verify_params or a "
+                    "kernel module in the context"
+                )
+            params = {p: VERIFY_PARAMS[p] for p in ctx.kernel.PARAMS}
+        if self.input_factory is not None:
+            inputs = self.input_factory(params)
+        elif ctx.kernel is not None:
+            inputs = ctx.kernel.make_inputs(params)
+        else:
+            inputs = None
+        return params, inputs
+
+    def _verify_boundary(
+        self,
+        value: Program | FusedNest,
+        baseline: Program | None,
+        trusted: bool,
+        ctx: PassContext,
+    ) -> tuple[bool, str]:
+        """Check one boundary; returns (checks ran, note).
+
+        An *untrusted* boundary (between a ``break`` pass and the next
+        ``restore``) may legitimately fail at runtime — QR's unfixed fused
+        program divides by a not-yet-computed pivot, for instance — so a
+        crash there is recorded, not raised. At a trusted boundary every
+        failure propagates.
+        """
+        from repro.exec.validate import assert_equivalent
+
+        program = value.to_program() if isinstance(value, FusedNest) else value
+        params, inputs = self._instance(ctx)
+        try:
+            crosscheck_engines(program, params, inputs)
+        except ExecutionError as exc:
+            if trusted:
+                raise
+            return False, f"verify skipped (broken-semantics program): {exc}"
+        if trusted and baseline is not None and program is not baseline:
+            assert_equivalent(
+                baseline, program, params, inputs, outputs=baseline.outputs
+            )
+        return True, ""
+
+    # -- execution -------------------------------------------------------
+    def run(
+        self, recipe: VariantRecipe, ctx: PassContext | None = None
+    ) -> tuple[Program | FusedNest, PipelineReport]:
+        """Apply every pass of *recipe*; return (final value, report)."""
+        ctx = ctx or PassContext()
+        report = PipelineReport(recipe=recipe.name)
+        value: Program | FusedNest | None = None
+        baseline: Program | None = None
+        trusted = True
+        for p in recipe.passes:
+            before = ir_stats(value) if value is not None else IRStats(0, 0, 0, 0)
+            start = time.perf_counter()
+            value = p.apply(value, ctx)
+            seconds = time.perf_counter() - start
+            after = ir_stats(value)
+            if p.semantics == BREAK:
+                trusted = False
+            elif p.semantics == RESTORE:
+                trusted = True
+            verified, note = False, ""
+            if self.verify:
+                verified, note = self._verify_boundary(
+                    value, baseline, trusted, ctx
+                )
+            if baseline is None and isinstance(value, Program):
+                baseline = value
+            snapshot = None
+            if self.snapshots:
+                from repro.ir.printer import pretty
+
+                current = (
+                    value.to_program() if isinstance(value, FusedNest) else value
+                )
+                snapshot = pretty(current)
+            detail_fn = getattr(p, "detail", None)
+            detail = detail_fn() if callable(detail_fn) else ""
+            if note:
+                detail = f"{detail}; {note}" if detail else note
+            report.records.append(
+                PassRecord(
+                    name=p.name,
+                    seconds=seconds,
+                    before=before,
+                    after=after,
+                    detail=detail,
+                    verified=verified,
+                    snapshot=snapshot,
+                )
+            )
+        if value is None:
+            raise TransformError(f"recipe {recipe.name} has no passes")
+        return value, report
+
+    def build(
+        self, recipe: VariantRecipe, ctx: PassContext | None = None
+    ) -> tuple[Program, PipelineReport]:
+        """Run the recipe and require the result to be a program."""
+        value, report = self.run(recipe, ctx)
+        if isinstance(value, FusedNest):
+            value = value.to_program()
+        return value, report

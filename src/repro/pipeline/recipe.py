@@ -1,0 +1,93 @@
+"""Declarative variant recipes and content fingerprints.
+
+A :class:`VariantRecipe` is an ordered list of pass instances — the whole
+definition of a kernel variant. Because every pass describes itself as
+plain data, a recipe has a stable content **fingerprint**; combined with
+the fingerprint of the *emitted program* and of the machine/sweep
+configuration it yields the disk-cache key for measurements, replacing the
+hand-bumped version tags the runner used to carry (stale-cache hazard: a
+cost-semantics change that nobody remembered to bump past).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.ir.program import Program
+from repro.pipeline.passes import Pass
+
+
+def stable_hash(data: Any, *, length: int = 16) -> str:
+    """Hex digest of any JSON-serialisable value (stable across runs)."""
+    text = json.dumps(data, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(text.encode()).hexdigest()[:length]
+
+
+@dataclass(frozen=True)
+class VariantRecipe:
+    """One kernel variant as an ordered list of passes."""
+
+    kernel: str
+    variant: str
+    passes: tuple[Pass, ...]
+    description: str = ""
+
+    def describe(self) -> dict[str, Any]:
+        """Plain-data form of the whole recipe."""
+        return {
+            "kernel": self.kernel,
+            "variant": self.variant,
+            "passes": [p.describe() for p in self.passes],
+        }
+
+    def fingerprint(self) -> str:
+        """Content hash of the recipe definition."""
+        return stable_hash(self.describe())
+
+    @property
+    def name(self) -> str:
+        """``kernel/variant`` display name."""
+        return f"{self.kernel}/{self.variant}"
+
+
+def program_fingerprint(program: Program) -> str:
+    """Content hash of an emitted program (full JSON tree)."""
+    from repro.ir import serialize
+
+    return stable_hash(serialize.program_to_dict(program))
+
+
+def machine_fingerprint(machine) -> str:
+    """Content hash of a machine config: geometry, costs, registers.
+
+    Any change to the cost model or cache shape changes the hash — cached
+    measurements can never silently survive a semantics change.
+    """
+    from dataclasses import asdict
+
+    return stable_hash(asdict(machine))
+
+
+def measurement_fingerprint(
+    recipe: VariantRecipe,
+    program: Program,
+    machine,
+    run_params: Mapping[str, Any],
+) -> str:
+    """The disk-cache key core for one measurement.
+
+    ``run_params`` carries everything else that determines the numbers:
+    problem size, tile edge, input seed, Jacobi's M, …
+    """
+    return stable_hash(
+        {
+            "recipe": recipe.describe(),
+            "program": program_fingerprint(program),
+            "machine": machine_fingerprint(machine),
+            "run": dict(run_params),
+        },
+        length=20,
+    )

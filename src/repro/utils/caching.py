@@ -1,0 +1,76 @@
+"""A small capped LRU mapping for in-process memoisation.
+
+The experiment runner used to memoise builds and measurements in plain
+module-level dicts — unbounded, and with no way to reset them between
+sweeps. :class:`LRUCache` bounds the footprint (oldest-used entries fall
+out first) and supports explicit clearing.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Hashable, Iterator, MutableMapping
+
+
+class LRUCache(MutableMapping):
+    """A dict with a maximum size, evicting the least-recently-used entry.
+
+    Reads and writes both refresh recency. ``maxsize=None`` means
+    unbounded (but still clearable).
+    """
+
+    def __init__(self, maxsize: int | None = 128):
+        if maxsize is not None and maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1 or None, got {maxsize}")
+        self.maxsize = maxsize
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __getitem__(self, key: Hashable) -> Any:
+        value = self._data[key]
+        self._data.move_to_end(key)
+        return value
+
+    def __setitem__(self, key: Hashable, value: Any) -> None:
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        if self.maxsize is not None and len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def __delitem__(self, key: Hashable) -> None:
+        del self._data[key]
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        """Return the cached value, computing (and caching) it on a miss."""
+        try:
+            value = self[key]
+        except KeyError:
+            self.misses += 1
+            value = compute()
+            self[key] = value
+        else:
+            self.hits += 1
+        return value
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __repr__(self) -> str:
+        cap = "∞" if self.maxsize is None else self.maxsize
+        return (
+            f"LRUCache({len(self._data)}/{cap}, hits={self.hits}, "
+            f"misses={self.misses}, evictions={self.evictions})"
+        )

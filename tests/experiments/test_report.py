@@ -10,7 +10,9 @@ def test_write_all_artifacts(tmp_path):
         machine=octane2_scaled(), sizes=(12,), jacobi_m=2, tile_policy="pdat"
     )
     written = write_all(tmp_path, config)
-    assert set(written) == {"figure5", "figure678", "table1", "jacobi_stats"}
+    assert set(written) == {
+        "figure5", "figure678", "table1", "jacobi_stats", "pipeline"
+    }
     for path in written.values():
         assert path.exists() and path.read_text().strip()
     # CSVs alongside the markdown
@@ -18,5 +20,9 @@ def test_write_all_artifacts(tmp_path):
     csv_text = (tmp_path / "figure5.csv").read_text()
     assert "speedup" in csv_text.splitlines()[0]
     assert len(csv_text.splitlines()) == 1 + 4  # header + four kernels
+    # per-pass timing shows up in the pipeline report
+    pipeline_md = (tmp_path / "pipeline.md").read_text()
+    assert "ms total" in pipeline_md and "FixDeps" in pipeline_md
+    assert "seconds" in (tmp_path / "pipeline.csv").read_text().splitlines()[0]
     # provenance
     assert "octane2-scaled" in (tmp_path / "config.md").read_text()

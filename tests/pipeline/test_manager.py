@@ -1,0 +1,106 @@
+"""PassManager behaviour: evidence records, boundary verification,
+the break/restore state machine, and the miscompile negative test."""
+
+import pytest
+
+from repro.errors import TransformError, ValidationError
+from repro.kernels.recipes import get_recipe
+from repro.kernels.registry import get_kernel
+from repro.pipeline import (
+    BREAK,
+    PRESERVE,
+    Pass,
+    PassContext,
+    PassManager,
+    VariantRecipe,
+    ir_stats,
+)
+
+
+class DropLastStatement(Pass):
+    """Intentionally miscompiling pass: claims PRESERVE, changes behaviour."""
+
+    semantics = PRESERVE
+
+    def describe(self):
+        return {"pass": self.name}
+
+    def apply(self, value, ctx):
+        return value.with_body(value.body[:-1])
+
+
+def _sabotaged(kernel, variant):
+    recipe = get_recipe(kernel, variant)
+    return VariantRecipe(
+        kernel, f"{variant}+sabotage", (*recipe.passes, DropLastStatement())
+    )
+
+
+def test_verify_catches_miscompiled_pass():
+    """Acceptance: an intentionally-miscompiled pass is caught at its own
+    boundary."""
+    recipe = _sabotaged("cholesky", "seq")
+    ctx = PassContext(kernel=get_kernel("cholesky"))
+    with pytest.raises(ValidationError):
+        PassManager(verify=True).build(recipe, ctx)
+    # without verification the broken program builds silently
+    program, _ = PassManager().build(recipe, ctx)
+    assert program.name == "cholesky_seq"
+
+
+def test_break_boundary_skips_equivalence_but_still_crosschecks():
+    """The fused (semantics-broken) boundary must not be compared against
+    the source program — fusion breaks semantics on purpose — but both
+    engines must still agree on it."""
+    recipe = get_recipe("jacobi", "fixed")
+    ctx = PassContext(kernel=get_kernel("jacobi"))
+    _, report = PassManager(verify=True).build(recipe, ctx)
+    names = [r.name for r in report.records]
+    assert names == ["Source", "Fuse", "FixDeps", "Scalarize"]
+    assert all(r.verified for r in report.records)
+
+
+def test_report_records_timing_and_sizes():
+    recipe = get_recipe("lu", "tiled")
+    ctx = PassContext(kernel=get_kernel("lu"), tile=3)
+    program, report = PassManager().build(recipe, ctx)
+    assert len(report.records) == len(recipe.passes)
+    assert all(r.seconds >= 0 for r in report.records)
+    assert report.records[-1].after == ir_stats(program)
+    rows = report.as_rows()
+    assert rows[0]["recipe"] == "lu/tiled"
+    assert {"pass", "seconds", "stmts_after"} <= set(rows[0])
+    rendered = report.render()
+    assert "lu/tiled" in rendered and "ms total" in rendered
+
+
+def test_snapshots_capture_ir():
+    recipe = get_recipe("cholesky", "seq")
+    ctx = PassContext(kernel=get_kernel("cholesky"))
+    _, report = PassManager(snapshots=True).build(recipe, ctx)
+    assert report.records[0].snapshot and "do k" in report.records[0].snapshot
+
+
+def test_fixdeps_detail_reports_collapses():
+    recipe = get_recipe("lu", "fixed")
+    ctx = PassContext(kernel=get_kernel("lu"))
+    _, report = PassManager().build(recipe, ctx)
+    fixdeps = next(r for r in report.records if r.name == "FixDeps")
+    assert "collapsed" in fixdeps.detail
+
+
+def test_empty_recipe_rejected():
+    with pytest.raises(TransformError, match="no passes"):
+        PassManager().run(VariantRecipe("lu", "empty", ()))
+
+
+def test_verify_needs_instance():
+    class MakeNothing(Pass):
+        semantics = BREAK
+
+        def apply(self, value, ctx):
+            return get_kernel("cholesky").sequential()
+
+    recipe = VariantRecipe("x", "y", (MakeNothing(),))
+    with pytest.raises(TransformError, match="verify_params"):
+        PassManager(verify=True).run(recipe, PassContext())

@@ -1,0 +1,37 @@
+"""The data-driven kernel table behind the registry."""
+
+import pytest
+
+from repro.kernels.registry import (
+    ALL_KERNELS,
+    EXTENSION_KERNELS,
+    KERNELS,
+    get_kernel,
+)
+
+
+def test_tuples_derive_from_one_table():
+    assert KERNELS == ("lu", "qr", "cholesky", "jacobi")
+    assert EXTENSION_KERNELS == ("gauss_seidel",)
+    assert ALL_KERNELS == KERNELS + EXTENSION_KERNELS
+
+
+def test_docstring_names_every_kernel():
+    doc = get_kernel.__doc__
+    for name in ALL_KERNELS:
+        assert name in doc
+
+
+def test_error_message_lists_every_kernel():
+    with pytest.raises(KeyError) as err:
+        get_kernel("spqr")
+    for name in ALL_KERNELS:
+        assert name in str(err.value)
+
+
+@pytest.mark.parametrize("name", ALL_KERNELS)
+def test_every_entry_loads_and_matches(name):
+    mod = get_kernel(name)
+    assert mod.NAME == name
+    for attr in ("sequential", "fusable", "make_inputs", "reference", "PARAMS"):
+        assert hasattr(mod, attr)
