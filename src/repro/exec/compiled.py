@@ -6,6 +6,16 @@ overhead on every node; instead we compile the IR once into a Python
 function (closures over flat Python lists for array storage, encoded
 ``list.append`` calls for trace events) and call it per run.
 
+Traced runs come in two modes. :meth:`CompiledProgram.run` materializes
+the full trace into one :class:`~repro.exec.events.TraceBuffers` (the
+debugging path). :meth:`CompiledProgram.run_streaming` instead flushes the
+event buffers to :class:`~repro.machine.sinks.TraceSink` consumers in
+bounded NumPy chunks: the generated code checks the buffer level at every
+loop-iteration boundary (one ``len`` comparison per iteration, so the
+per-event hot path stays a plain ``list.append``) and drains through the
+sinks, keeping peak trace memory at roughly the chunk size no matter how
+many events a run produces.
+
 Cost accounting model (documented in DESIGN.md):
 
 - array element load/store: 1 load/store event + ``rank`` integer address
@@ -24,7 +34,15 @@ from typing import Mapping
 import numpy as np
 
 from repro.errors import ExecutionError
-from repro.exec.events import ADDR_BITS, Counters, RunResult, TraceBuffers, evaluate_extents
+from repro.exec.events import (
+    ADDR_BITS,
+    DEFAULT_CHUNK_EVENTS,
+    Counters,
+    RunResult,
+    TraceBuffers,
+    check_addressable,
+    evaluate_extents,
+)
 from repro.ir.expr import (
     ArrayRef,
     BinOp,
@@ -43,6 +61,14 @@ from repro.ir.program import Program
 from repro.ir.stmt import Assign, If, Loop, Stmt
 
 _CMP_PY = {"==": "==", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+#: Buffer cap used by materializing runs — large enough that the flush
+#: guard in generated code never fires.
+_NEVER_FLUSH = 1 << 62
+
+
+def _noop_flush() -> None:
+    return None
 
 
 def _py(name: str) -> str:
@@ -280,6 +306,13 @@ class _Codegen:
             self.lines.append(
                 f"{indent}for {_py(stmt.var)} in range({lo}, ({hi}) + 1, {step}):"
             )
+        if self.trace:
+            # Flush point: between iterations the event buffers may be
+            # drained to the trace sinks. The guard is one len()+compare
+            # per iteration, leaving the per-event path a bare append.
+            self.lines.append(
+                f"{indent}    if len(_mem) >= _cap or len(_bra) >= _cap: _flush()"
+            )
         body_costs = _Costs()
         body_costs.loop_iters += 1
         body_costs.intops += 2
@@ -289,7 +322,9 @@ class _Codegen:
     def generate(self) -> str:
         p = self.program
         ind = "    "
-        out: list[str] = ["def _kernel(_params, _arrays, _exts, _mem, _bra):"]
+        out: list[str] = [
+            "def _kernel(_params, _arrays, _exts, _mem, _bra, _cap, _flush):"
+        ]
         out.append(f"{ind}_sqrt = _math.sqrt")
         for name in p.params:
             out.append(f"{ind}{_py(name)} = _params[{name!r}]")
@@ -340,13 +375,12 @@ class CompiledProgram:
         exec(compile(self.source, f"<repro:{program.name}>", "exec"), namespace)
         self._fn = namespace["_kernel"]
 
-    def run(
+    def _prepare(
         self,
         params: Mapping[str, int],
-        inputs: Mapping[str, np.ndarray] | None = None,
-    ) -> RunResult:
-        """Execute under *params*, seeding arrays from *inputs* (column-major
-        flattening); missing arrays start at zero."""
+        inputs: Mapping[str, np.ndarray] | None,
+    ) -> tuple[dict[str, tuple[int, ...]], dict[str, list]]:
+        """Evaluate extents, validate trace addressability, seed storage."""
         inputs = inputs or {}
         p = self.program
         missing = set(p.params) - set(params)
@@ -358,6 +392,8 @@ class CompiledProgram:
             shape = evaluate_extents(a.extents, params)
             exts[a.name] = shape
             size = int(np.prod(shape))
+            if self.trace:
+                check_addressable(p.name, a.name, size)
             given = inputs.get(a.name)
             if given is not None:
                 arr = np.asarray(given, dtype=np.float64)
@@ -368,25 +404,41 @@ class CompiledProgram:
                 storage[a.name] = arr.flatten(order="F").tolist()
             else:
                 storage[a.name] = [0.0] * size
-        mem: list[int] = []
-        bra: list[int] = []
+        return exts, storage
+
+    def _execute(
+        self,
+        params: Mapping[str, int],
+        exts: dict[str, tuple[int, ...]],
+        storage: dict[str, list],
+        mem: list[int],
+        bra: list[int],
+        cap: int,
+        flush,
+    ) -> tuple[Counters, dict[str, float]]:
+        """Call the generated kernel and package counters."""
         try:
             (loads, stores, flops, intops, branches, iters, scalars) = self._fn(
-                dict(params), storage, exts, mem, bra
+                dict(params), storage, exts, mem, bra, cap, flush
             )
         except (IndexError, ZeroDivisionError, KeyError) as exc:
-            raise ExecutionError(f"runtime failure in {p.name}: {exc}") from exc
+            raise ExecutionError(
+                f"runtime failure in {self.program.name}: {exc}"
+            ) from exc
+        return Counters(loads, stores, flops, intops, branches, iters), scalars
+
+    def _result(
+        self,
+        exts: dict[str, tuple[int, ...]],
+        storage: dict[str, list],
+        counters: Counters,
+        scalars: dict[str, float],
+        trace: TraceBuffers | None,
+    ) -> RunResult:
         arrays = {
             name: np.asarray(vals, dtype=np.float64).reshape(exts[name], order="F")
             for name, vals in storage.items()
         }
-        counters = Counters(loads, stores, flops, intops, branches, iters)
-        trace = None
-        if self.trace:
-            trace = TraceBuffers(
-                np.asarray(mem, dtype=np.int64),
-                np.asarray(bra, dtype=np.int64),
-            )
         return RunResult(
             arrays=arrays,
             scalars=scalars,
@@ -395,6 +447,81 @@ class CompiledProgram:
             array_ids=dict(self.array_ids),
             branch_sites=dict(self.branch_sites),
         )
+
+    def run(
+        self,
+        params: Mapping[str, int],
+        inputs: Mapping[str, np.ndarray] | None = None,
+    ) -> RunResult:
+        """Execute under *params*, seeding arrays from *inputs* (column-major
+        flattening); missing arrays start at zero.
+
+        Materializes the full trace when tracing is enabled — peak memory
+        grows with the event count. Use :meth:`run_streaming` to replay
+        the trace through sinks in bounded memory instead.
+        """
+        exts, storage = self._prepare(params, inputs)
+        mem: list[int] = []
+        bra: list[int] = []
+        # A cap no run reaches: the flush guard never fires, so the
+        # buffers simply accumulate the whole trace.
+        counters, scalars = self._execute(
+            params, exts, storage, mem, bra, _NEVER_FLUSH, _noop_flush
+        )
+        trace = None
+        if self.trace:
+            trace = TraceBuffers(
+                np.asarray(mem, dtype=np.int64),
+                np.asarray(bra, dtype=np.int64),
+            )
+        return self._result(exts, storage, counters, scalars, trace)
+
+    def run_streaming(
+        self,
+        params: Mapping[str, int],
+        inputs: Mapping[str, np.ndarray] | None = None,
+        *,
+        memory_sink=None,
+        branch_sink=None,
+        chunk_events: int = DEFAULT_CHUNK_EVENTS,
+    ) -> RunResult:
+        """Execute while streaming encoded events through trace sinks.
+
+        ``memory_sink`` / ``branch_sink`` receive 1-D ``int64`` chunks of
+        encoded events (see :mod:`repro.exec.events`) in program order;
+        a ``None`` sink discards its stream. The returned
+        :class:`~repro.exec.events.RunResult` carries arrays, scalars and
+        counters but ``trace=None`` — the trace only ever existed as
+        chunks. The caller owns the sinks' lifecycle and calls their
+        ``finish()`` afterwards.
+
+        Chunks are at most ``chunk_events`` plus the events of one
+        innermost loop iteration (the guard sits at iteration
+        boundaries); peak trace memory is bounded accordingly.
+        """
+        if not self.trace:
+            raise ExecutionError("run_streaming() needs a traced program (trace=True)")
+        if chunk_events <= 0:
+            raise ExecutionError(f"chunk_events must be positive, got {chunk_events}")
+        exts, storage = self._prepare(params, inputs)
+        mem: list[int] = []
+        bra: list[int] = []
+
+        def flush() -> None:
+            if mem:
+                if memory_sink is not None:
+                    memory_sink.feed(np.asarray(mem, dtype=np.int64))
+                mem.clear()
+            if bra:
+                if branch_sink is not None:
+                    branch_sink.feed(np.asarray(bra, dtype=np.int64))
+                bra.clear()
+
+        counters, scalars = self._execute(
+            params, exts, storage, mem, bra, chunk_events, flush
+        )
+        flush()  # tail events after the last loop boundary
+        return self._result(exts, storage, counters, scalars, trace=None)
 
 
 def run_compiled(

@@ -15,10 +15,51 @@ from typing import Mapping
 
 import numpy as np
 
+#: Default number of events an executor buffers before flushing a chunk
+#: to the trace sinks (streaming mode).
+DEFAULT_CHUNK_EVENTS = 1 << 16
+
 #: Bits reserved for the linear element index within one array.
 ADDR_BITS = 40
 #: Mask extracting the linear index from a memory event code.
 ADDR_MASK = (1 << ADDR_BITS) - 1
+
+
+def decode_memory_events(
+    codes: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Decode encoded memory events into (array_id, linear_index, is_write).
+
+    Works on any chunk of the stream — the encoding is stateless — so the
+    streaming sinks and the materialized :class:`TraceBuffers` share it.
+    """
+    codes = np.asarray(codes, dtype=np.int64)
+    head = codes >> ADDR_BITS
+    return head >> 1, codes & ADDR_MASK, head & 1
+
+
+def decode_branch_events(codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Decode encoded branch events into (site_id, taken)."""
+    codes = np.asarray(codes, dtype=np.int64)
+    return codes >> 1, codes & 1
+
+
+def check_addressable(program_name: str, array_name: str, size: int) -> None:
+    """Layout-time guard for the trace encoding.
+
+    A memory event packs the linear element index into the low
+    :data:`ADDR_BITS` bits; an array with more than ``2**ADDR_BITS``
+    elements would silently alias its high indices into the array-id
+    field. Raise instead of corrupting the trace.
+    """
+    from repro.errors import ExecutionError
+
+    if size > ADDR_MASK + 1:
+        raise ExecutionError(
+            f"{program_name}: array {array_name} has {size} elements; linear "
+            f"indices do not fit the {ADDR_BITS}-bit trace address field "
+            f"(max {ADDR_MASK + 1} elements)"
+        )
 
 
 @dataclass
@@ -74,13 +115,11 @@ class TraceBuffers:
 
     def memory_events(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Decode the memory trace into (array_id, linear_index, is_write)."""
-        codes = self.memory
-        head = codes >> ADDR_BITS
-        return head >> 1, codes & ADDR_MASK, head & 1
+        return decode_memory_events(self.memory)
 
     def branch_events(self) -> tuple[np.ndarray, np.ndarray]:
         """Decode the branch trace into (site_id, taken)."""
-        return self.branches >> 1, self.branches & 1
+        return decode_branch_events(self.branches)
 
 
 @dataclass

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ExecutionError
-from repro.exec.events import RunResult
+from repro.exec.events import RunResult, decode_memory_events
 
 
 @dataclass(frozen=True)
@@ -36,26 +36,62 @@ class ArrayStats:
         return self.accesses / self.distinct_elements if self.distinct_elements else 0.0
 
 
+class ArrayStatsSink:
+    """Streaming per-array statistics over encoded memory-event chunks.
+
+    Load/store counts accumulate with :func:`numpy.bincount`; distinct
+    elements accumulate as per-array sets — bounded by the data footprint,
+    not by the trace length, so the sink respects the streaming memory
+    budget.
+    """
+
+    def __init__(self, array_ids: dict[str, int]):
+        self._array_ids = dict(array_ids)
+        size = max(self._array_ids.values(), default=-1) + 1
+        self._loads = np.zeros(size, dtype=np.int64)
+        self._stores = np.zeros(size, dtype=np.int64)
+        self._elements: list[set[int]] = [set() for _ in range(size)]
+
+    def feed(self, codes: np.ndarray) -> None:
+        """Accumulate one chunk of encoded memory events."""
+        aid, lin, rw = decode_memory_events(codes)
+        size = len(self._loads)
+        reads = rw == 0
+        self._loads += np.bincount(aid[reads], minlength=size)
+        self._stores += np.bincount(aid[~reads], minlength=size)
+        order = np.argsort(aid, kind="stable")
+        aid_sorted = aid[order]
+        lin_sorted = lin[order]
+        boundaries = np.flatnonzero(np.diff(aid_sorted)) + 1
+        starts = [0, *boundaries.tolist()]
+        ends = [*boundaries.tolist(), len(aid_sorted)]
+        for start, end in zip(starts, ends):
+            if start < end:
+                array_id = int(aid_sorted[start])
+                self._elements[array_id].update(
+                    np.unique(lin_sorted[start:end]).tolist()
+                )
+
+    def finish(self) -> dict[str, ArrayStats]:
+        """Per-array statistics, keyed by array name."""
+        out: dict[str, ArrayStats] = {}
+        for name, array_id in self._array_ids.items():
+            out[name] = ArrayStats(
+                name=name,
+                loads=int(self._loads[array_id]),
+                stores=int(self._stores[array_id]),
+                distinct_elements=len(self._elements[array_id]),
+            )
+        return out
+
+
 def trace_statistics(result: RunResult) -> dict[str, ArrayStats]:
     """Per-array stats of a traced run (requires ``trace=True``)."""
     if result.trace is None:
         raise ExecutionError("trace_statistics needs a traced run")
-    aid, lin, rw = result.trace.memory_events()
-    out: dict[str, ArrayStats] = {}
-    for name, array_id in result.array_ids.items():
-        mask = aid == array_id
-        if not mask.any():
-            out[name] = ArrayStats(name, 0, 0, 0)
-            continue
-        writes = rw[mask]
-        elements = lin[mask]
-        out[name] = ArrayStats(
-            name=name,
-            loads=int((writes == 0).sum()),
-            stores=int((writes == 1).sum()),
-            distinct_elements=int(len(np.unique(elements))),
-        )
-    return out
+    sink = ArrayStatsSink(result.array_ids)
+    sink.feed(result.trace.memory)
+    return sink.finish()
 
 
 def footprint_bytes(result: RunResult, element_bytes: int = 8) -> int:

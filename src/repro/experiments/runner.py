@@ -30,7 +30,7 @@ from repro.exec.compiled import CompiledProgram
 from repro.experiments.sweep import SweepConfig
 from repro.ir.program import Program
 from repro.kernels.registry import get_kernel, get_recipe
-from repro.machine.perfcounters import PerfReport, measure
+from repro.machine.perfcounters import PerfReport, measure, measure_streaming
 from repro.pipeline.manager import PassManager, PipelineReport
 from repro.pipeline.passes import PassContext
 from repro.pipeline.recipe import VariantRecipe, measurement_fingerprint
@@ -123,6 +123,15 @@ def _params_for(kernel: str, n: int, config: SweepConfig) -> dict[str, int]:
     return params
 
 
+def _trace_mode(override: str | None) -> str:
+    mode = override or os.environ.get("REPRO_TRACE_MODE", "stream")
+    if mode not in ("stream", "materialize"):
+        raise ValueError(
+            f"trace_mode must be 'stream' or 'materialize', got {mode!r}"
+        )
+    return mode
+
+
 def measure_variant(
     kernel: str,
     variant: str,
@@ -130,8 +139,16 @@ def measure_variant(
     config: SweepConfig,
     *,
     tile: int | None = None,
+    trace_mode: str | None = None,
 ) -> VariantMeasurement:
-    """Measure one (kernel, variant, N) point (memoised)."""
+    """Measure one (kernel, variant, N) point (memoised).
+
+    ``trace_mode`` selects how the trace reaches the machine model:
+    ``"stream"`` (default) drives the fused sink pipeline in bounded
+    memory; ``"materialize"`` builds the full trace first (debugging
+    path). Results are bit-identical, so the cache key is unaffected;
+    the ``REPRO_TRACE_MODE`` env var overrides the default.
+    """
     if variant in ("tiled", "tiled_sunk") and tile is None:
         tile = config.tile_for(n)
     program, pipeline, recipe = build_program(kernel, variant, tile=tile)
@@ -162,8 +179,11 @@ def measure_variant(
         return CompiledProgram(program, trace=True)
 
     cp = _compiled.get_or_compute((kernel, variant, tile), compile_program)
-    run = cp.run(params, inputs)
-    report = measure(run, cp.program, params, config.machine)
+    if _trace_mode(trace_mode) == "stream":
+        _, report = measure_streaming(cp, params, config.machine, inputs)
+    else:
+        run = cp.run(params, inputs)
+        report = measure(run, cp.program, params, config.machine)
     _store_cached(key, report)
     result = VariantMeasurement(kernel, variant, n, tile, report, pipeline)
     _memo[key] = result

@@ -15,29 +15,52 @@ exactly those observables from the executor's traces:
   variant for tractable sweeps;
 - :mod:`repro.machine.costmodel` — per-event cycle costs (9.92 / 162.55 /
   1 / 5) and the cycle aggregation;
-- :mod:`repro.machine.perfcounters` — the end-to-end "perfex" report.
+- :mod:`repro.machine.perfcounters` — the end-to-end "perfex" report;
+- :mod:`repro.machine.sinks` — the streaming :class:`TraceSink` protocol
+  that fuses all trace consumers into one bounded-memory pass.
 """
 
 from repro.machine.branch import StaticTakenPredictor, TwoBitPredictor
-from repro.machine.cache import CacheConfig, simulate_cache
+from repro.machine.cache import CacheConfig, CacheSink, simulate_cache
 from repro.machine.configs import MachineConfig, octane2, octane2_scaled
 from repro.machine.costmodel import CostModel
-from repro.machine.hierarchy import HierarchyResult, simulate_hierarchy
+from repro.machine.hierarchy import HierarchyResult, HierarchySink, simulate_hierarchy
 from repro.machine.layout import MemoryLayout
-from repro.machine.perfcounters import PerfReport, measure
+from repro.machine.perfcounters import (
+    MemoryPipelineSink,
+    PerfReport,
+    measure,
+    measure_streaming,
+)
+from repro.machine.sinks import (
+    DEFAULT_CHUNK_EVENTS,
+    CountSink,
+    FanoutSink,
+    MaterializeSink,
+    TraceSink,
+)
 
 __all__ = [
     "CacheConfig",
+    "CacheSink",
     "simulate_cache",
     "MachineConfig",
     "octane2",
     "octane2_scaled",
     "CostModel",
     "HierarchyResult",
+    "HierarchySink",
     "simulate_hierarchy",
     "MemoryLayout",
+    "MemoryPipelineSink",
     "PerfReport",
     "measure",
+    "measure_streaming",
     "TwoBitPredictor",
     "StaticTakenPredictor",
+    "TraceSink",
+    "MaterializeSink",
+    "FanoutSink",
+    "CountSink",
+    "DEFAULT_CHUNK_EVENTS",
 ]

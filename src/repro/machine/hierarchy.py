@@ -3,6 +3,10 @@
 Accesses that hit L1 never reach L2 (inclusive lookup path); every L1 miss
 is replayed against L2 in order. This is the standard trace-filtering model
 and matches how perfex's L1/L2 miss counters relate on the R14000A.
+
+:class:`HierarchySink` fuses both levels into one streaming pass: each
+chunk is replayed against L1 and only the missing subset is forwarded to
+L2, so the L2 engine touches a small fraction of the trace.
 """
 
 from __future__ import annotations
@@ -11,7 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.machine.cache import CacheConfig, simulate_cache
+from repro.machine.cache import CacheConfig, CacheSink
 
 
 @dataclass(frozen=True)
@@ -21,8 +25,10 @@ class HierarchyResult:
     accesses: int
     l1_misses: int
     l2_misses: int
-    #: Boolean per-access L1 miss mask (diagnostics; may be large).
-    l1_miss_mask: np.ndarray
+    #: Per-access L1 miss mask; ``None`` unless ``keep_mask=True`` was
+    #: requested — it holds a bool per access and would dominate peak
+    #: memory on large runs.
+    l1_miss_mask: np.ndarray | None = None
 
     @property
     def l1_miss_rate(self) -> float:
@@ -35,16 +41,49 @@ class HierarchyResult:
         return self.l2_misses / self.l1_misses if self.l1_misses else 0.0
 
 
+class HierarchySink:
+    """Streaming L1 → L2 replay over address chunks."""
+
+    def __init__(self, l1: CacheConfig, l2: CacheConfig, *, keep_mask: bool = False):
+        self._l1 = CacheSink(l1, keep_mask=keep_mask)
+        self._l2 = CacheSink(l2)
+
+    def feed(self, addresses: np.ndarray) -> np.ndarray:
+        """Replay one chunk; returns its L1 miss mask."""
+        addresses = np.asarray(addresses)
+        if len(addresses) == 0:
+            return np.zeros(0, dtype=bool)
+        l1_mask = self._l1.feed(addresses)
+        l2_stream = addresses[l1_mask]
+        if len(l2_stream):
+            self._l2.feed(l2_stream)
+        return l1_mask
+
+    def finish(self) -> HierarchyResult:
+        """Accumulated miss statistics."""
+        l1 = self._l1.finish()
+        l2 = self._l2.finish()
+        return HierarchyResult(
+            accesses=l1.accesses,
+            l1_misses=l1.misses,
+            l2_misses=l2.misses,
+            l1_miss_mask=l1.miss_mask,
+        )
+
+
 def simulate_hierarchy(
-    l1: CacheConfig, l2: CacheConfig, addresses: np.ndarray
+    l1: CacheConfig,
+    l2: CacheConfig,
+    addresses: np.ndarray,
+    *,
+    keep_mask: bool = False,
 ) -> HierarchyResult:
-    """Replay *addresses* through L1 then L2."""
-    l1_mask = simulate_cache(l1, addresses)
-    l2_stream = addresses[l1_mask]
-    l2_mask = simulate_cache(l2, l2_stream)
-    return HierarchyResult(
-        accesses=len(addresses),
-        l1_misses=int(l1_mask.sum()),
-        l2_misses=int(l2_mask.sum()),
-        l1_miss_mask=l1_mask,
-    )
+    """Replay *addresses* through L1 then L2 (one-chunk wrapper).
+
+    Pass ``keep_mask=True`` to retain the per-access L1 miss mask
+    diagnostic (off by default — it costs a bool per access).
+    """
+    sink = HierarchySink(l1, l2, keep_mask=keep_mask)
+    if len(addresses):
+        sink.feed(addresses)
+    return sink.finish()

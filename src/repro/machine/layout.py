@@ -74,8 +74,13 @@ class MemoryLayout:
         return base_by_id[array_ids] + linear * self.element_bytes
 
 
-def layout_for_run(run_result, program, params, *, align: int = 128) -> MemoryLayout:
-    """Build the layout for a finished run (extents evaluated at *params*)."""
+def layout_for_program(program, params, *, align: int = 128) -> MemoryLayout:
+    """Build the layout of *program*'s arrays at concrete *params*.
+
+    Deterministic given (program, params) — usable before a run even
+    starts, which is what lets the streaming pipeline map addresses
+    chunk-by-chunk while the program is still executing.
+    """
     from repro.exec.events import evaluate_extents
 
     sizes: dict[str, int] = {}
@@ -83,3 +88,8 @@ def layout_for_run(run_result, program, params, *, align: int = 128) -> MemoryLa
         shape = evaluate_extents(decl.extents, params)
         sizes[decl.name] = int(np.prod(shape))
     return MemoryLayout.build(sizes, align=align)
+
+
+def layout_for_run(run_result, program, params, *, align: int = 128) -> MemoryLayout:
+    """Build the layout for a finished run (extents evaluated at *params*)."""
+    return layout_for_program(program, params, align=align)

@@ -1,10 +1,19 @@
 """End-to-end perfex-style measurement of one traced run.
 
-``measure`` is the single entry point the experiment harness uses: it takes
-a traced :class:`~repro.exec.events.RunResult`, lays the arrays out in
-memory, replays the memory trace through the cache hierarchy and the branch
-trace through the predictor, and aggregates cycles with the cost model —
-yielding every observable the paper's Figures 5–8 plot.
+Two equivalent entry points:
+
+- :func:`measure` takes a fully-materialized traced
+  :class:`~repro.exec.events.RunResult` (the debugging path);
+- :func:`measure_streaming` executes the compiled program itself, driving
+  the whole machine model in a single fused pass over bounded trace
+  chunks — the trace never exists as one object.
+
+Both lay the arrays out in memory, replay the memory trace through the
+register filter and cache hierarchy and the branch trace through the
+predictor, and aggregate cycles with the cost model — yielding every
+observable the paper's Figures 5–8 plot. The two paths are bit-identical
+(asserted by the equivalence test-suite): the streaming sinks are
+chunking-invariant and the pipeline preserves program order.
 """
 
 from __future__ import annotations
@@ -12,14 +21,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
+import numpy as np
+
 from repro.errors import MachineError
-from repro.exec.events import Counters, RunResult
+from repro.exec.events import Counters, RunResult, decode_memory_events
 from repro.ir.program import Program
-from repro.machine.branch import TwoBitPredictor
+from repro.machine.branch import BranchStats, TwoBitPredictor, sink_for_predictor
 from repro.machine.configs import MachineConfig
-from repro.machine.hierarchy import simulate_hierarchy
-from repro.machine.layout import layout_for_run
-from repro.machine.registers import filter_loads
+from repro.machine.hierarchy import HierarchyResult, HierarchySink, simulate_hierarchy
+from repro.machine.layout import MemoryLayout, layout_for_program, layout_for_run
+from repro.machine.registers import RegisterFilterSink, filter_loads
 
 
 @dataclass(frozen=True)
@@ -61,39 +72,56 @@ class PerfReport:
         }
 
 
-def measure(
-    result: RunResult,
+class MemoryPipelineSink:
+    """Fused memory-side pipeline over encoded memory-event chunks.
+
+    Each chunk flows decode → address mapping → register filter →
+    L1 → L2 in one pass, exactly mirroring the materialized path's
+    whole-trace stages.
+    """
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        layout: MemoryLayout,
+        id_to_name: dict[int, str],
+    ):
+        self._layout = layout
+        self._id_to_name = id_to_name
+        self._registers = RegisterFilterSink(machine.registers)
+        self._hierarchy = HierarchySink(machine.l1, machine.l2)
+
+    def feed(self, codes: np.ndarray) -> None:
+        """Push one encoded chunk through the whole memory pipeline."""
+        aid, lin, rw = decode_memory_events(codes)
+        addresses = self._layout.addresses(aid, lin, self._id_to_name)
+        keep = self._registers.feed((addresses, rw))
+        self._hierarchy.feed(addresses[keep])
+
+    def finish(self) -> tuple[int, HierarchyResult]:
+        """(register load hits, hierarchy result)."""
+        regs = self._registers.finish()
+        return regs.load_hits, self._hierarchy.finish()
+
+
+def _assemble_report(
     program: Program,
-    params: Mapping[str, int],
     machine: MachineConfig,
-    *,
-    predictor=None,
+    counters: Counters,
+    load_hits: int,
+    hier: HierarchyResult,
+    branch: BranchStats,
 ) -> PerfReport:
-    """Replay a traced run on *machine* and aggregate its cost report."""
-    if result.trace is None:
-        raise MachineError("measure() needs a traced run (trace=True)")
-    layout = layout_for_run(result, program, params)
-    aid, lin, rw = result.trace.memory_events()
-    id_to_name = {v: k for k, v in result.array_ids.items()}
-    addresses = layout.addresses(aid, lin, id_to_name)
-    regs = filter_loads(addresses, rw, machine.registers)
-    memory_stream = addresses[regs.to_memory]
-    hier = simulate_hierarchy(machine.l1, machine.l2, memory_stream)
-
-    sid, taken = result.trace.branch_events()
-    predictor = predictor or TwoBitPredictor()
-    branch = predictor.simulate(sid, taken)
-
+    """Shared cost aggregation of the materialized and streaming paths."""
     costs = machine.costs
-    counters = result.counters
     # Register-elided loads never graduate as instructions.
     effective = Counters(**counters.as_dict())
-    effective.loads = max(counters.loads - regs.load_hits, 0)
+    effective.loads = max(counters.loads - load_hits, 0)
     return PerfReport(
         program=program.name,
         machine=machine.name,
         accesses=hier.accesses,
-        register_load_hits=regs.load_hits,
+        register_load_hits=load_hits,
         l1_misses=hier.l1_misses,
         l2_misses=hier.l2_misses,
         branches_resolved=branch.resolved,
@@ -107,3 +135,63 @@ def measure(
             effective, hier.l1_misses, hier.l2_misses, branch.mispredicted
         ),
     )
+
+
+def measure(
+    result: RunResult,
+    program: Program,
+    params: Mapping[str, int],
+    machine: MachineConfig,
+    *,
+    predictor=None,
+) -> PerfReport:
+    """Replay a materialized traced run on *machine* (debugging path)."""
+    if result.trace is None:
+        raise MachineError("measure() needs a traced run (trace=True)")
+    layout = layout_for_run(result, program, params)
+    aid, lin, rw = result.trace.memory_events()
+    id_to_name = {v: k for k, v in result.array_ids.items()}
+    addresses = layout.addresses(aid, lin, id_to_name)
+    regs = filter_loads(addresses, rw, machine.registers)
+    memory_stream = addresses[regs.to_memory]
+    hier = simulate_hierarchy(machine.l1, machine.l2, memory_stream)
+
+    sid, taken = result.trace.branch_events()
+    predictor = predictor or TwoBitPredictor()
+    branch = predictor.simulate(sid, taken)
+    return _assemble_report(
+        program, machine, result.counters, regs.load_hits, hier, branch
+    )
+
+
+def measure_streaming(
+    compiled,
+    params: Mapping[str, int],
+    machine: MachineConfig,
+    inputs: Mapping[str, np.ndarray] | None = None,
+    *,
+    predictor=None,
+    chunk_events: int | None = None,
+) -> tuple[RunResult, PerfReport]:
+    """Execute *compiled* and measure it in one fused streaming pass.
+
+    *compiled* is a traced :class:`~repro.exec.compiled.CompiledProgram`;
+    the returned :class:`~repro.exec.events.RunResult` has ``trace=None``
+    (arrays, scalars and counters are intact). Peak trace memory is
+    bounded by the chunk size regardless of the run's event count.
+    """
+    program = compiled.program
+    layout = layout_for_program(program, params)
+    id_to_name = {v: k for k, v in compiled.array_ids.items()}
+    memory_sink = MemoryPipelineSink(machine, layout, id_to_name)
+    branch_sink = sink_for_predictor(predictor or TwoBitPredictor())
+    kwargs = {} if chunk_events is None else {"chunk_events": chunk_events}
+    result = compiled.run_streaming(
+        params, inputs, memory_sink=memory_sink, branch_sink=branch_sink, **kwargs
+    )
+    load_hits, hier = memory_sink.finish()
+    branch = branch_sink.finish()
+    report = _assemble_report(
+        program, machine, result.counters, load_hits, hier, branch
+    )
+    return result, report

@@ -39,21 +39,24 @@ class PrefetchResult:
         return self.prefetch_hits / would_miss if would_miss else 0.0
 
 
-def simulate_prefetch(config: CacheConfig, addresses: np.ndarray) -> PrefetchResult:
-    """Replay with tagged next-line prefetching."""
-    if addresses.ndim != 1:
-        raise MachineError("addresses must be 1-D")
-    lines = (np.asarray(addresses) >> config.line_shift).tolist()
-    nsets = config.num_sets
-    assoc = config.assoc
-    # Per set: list of [line, prefetched] in MRU order.
-    sets: list[list[list]] = [[] for _ in range(nsets)]
-    demand_misses = 0
-    prefetches = 0
-    prefetch_hits = 0
+class PrefetchSink:
+    """Streaming tagged next-line prefetch replay over address chunks.
 
-    def install(line: int, *, prefetched: bool) -> None:
-        ways = sets[line % nsets]
+    Per-set residency state (``[line, prefetched]`` entries in MRU order)
+    persists across chunks.
+    """
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        # Per set: list of [line, prefetched] in MRU order.
+        self._sets: list[list[list]] = [[] for _ in range(config.num_sets)]
+        self._demand_misses = 0
+        self._prefetches = 0
+        self._prefetch_hits = 0
+        self._accesses = 0
+
+    def _install(self, line: int, *, prefetched: bool) -> None:
+        ways = self._sets[line % self.config.num_sets]
         for way in ways:
             if way[0] == line:
                 return  # already resident; leave position/flag
@@ -61,40 +64,59 @@ def simulate_prefetch(config: CacheConfig, addresses: np.ndarray) -> PrefetchRes
         if prefetched:
             # LRU-insert: evict the old LRU, park the prefetch at the LRU
             # position so a useless prefetch is the next victim.
-            while len(ways) >= assoc:
+            while len(ways) >= self.config.assoc:
                 ways.pop()
             ways.append(entry)
         else:
             ways.insert(0, entry)
-            if len(ways) > assoc:
+            if len(ways) > self.config.assoc:
                 ways.pop()
 
-    for line in lines:
-        ways = sets[line % nsets]
-        hit = None
-        for way in ways:
-            if way[0] == line:
-                hit = way
-                break
-        follow = False
-        if hit is not None:
-            if hit[1]:
-                prefetch_hits += 1
-                hit[1] = False
-                follow = True  # stream follow-through
-            if ways[0] is not hit:
-                ways.remove(hit)
-                ways.insert(0, hit)
-        else:
-            demand_misses += 1
-            install(line, prefetched=False)
-            follow = True
-        if follow:
-            prefetches += 1
-            install(line + 1, prefetched=True)
-    return PrefetchResult(
-        demand_misses=demand_misses,
-        prefetches_issued=prefetches,
-        prefetch_hits=prefetch_hits,
-        accesses=len(lines),
-    )
+    def feed(self, addresses: np.ndarray) -> None:
+        """Replay one chunk of byte addresses."""
+        addresses = np.asarray(addresses)
+        if addresses.ndim != 1:
+            raise MachineError("addresses must be 1-D")
+        lines = (addresses >> self.config.line_shift).tolist()
+        nsets = self.config.num_sets
+        sets = self._sets
+        for line in lines:
+            ways = sets[line % nsets]
+            hit = None
+            for way in ways:
+                if way[0] == line:
+                    hit = way
+                    break
+            follow = False
+            if hit is not None:
+                if hit[1]:
+                    self._prefetch_hits += 1
+                    hit[1] = False
+                    follow = True  # stream follow-through
+                if ways[0] is not hit:
+                    ways.remove(hit)
+                    ways.insert(0, hit)
+            else:
+                self._demand_misses += 1
+                self._install(line, prefetched=False)
+                follow = True
+            if follow:
+                self._prefetches += 1
+                self._install(line + 1, prefetched=True)
+        self._accesses += len(lines)
+
+    def finish(self) -> PrefetchResult:
+        """Accumulated prefetch statistics."""
+        return PrefetchResult(
+            demand_misses=self._demand_misses,
+            prefetches_issued=self._prefetches,
+            prefetch_hits=self._prefetch_hits,
+            accesses=self._accesses,
+        )
+
+
+def simulate_prefetch(config: CacheConfig, addresses: np.ndarray) -> PrefetchResult:
+    """Replay with tagged next-line prefetching (one-chunk wrapper)."""
+    sink = PrefetchSink(config)
+    sink.feed(addresses)
+    return sink.finish()

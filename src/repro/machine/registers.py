@@ -33,10 +33,59 @@ ELEMENT_SHIFT = 3
 class RegisterFilterResult:
     """Outcome of filtering one access stream."""
 
-    #: True where the access must go to memory.
-    to_memory: np.ndarray
+    #: True where the access must go to memory; ``None`` for streaming
+    #: replays, where the mask is consumed chunk-by-chunk instead.
+    to_memory: np.ndarray | None
     #: Number of loads elided by register reuse.
     load_hits: int
+
+
+class RegisterFilterSink:
+    """Streaming LRU register window over ``(addresses, is_write)`` chunks.
+
+    ``feed`` returns the chunk's keep mask (``True`` where the access goes
+    to memory) so the fused pipeline can filter the address stream before
+    the cache hierarchy; the window itself persists across chunks. A tiny
+    window (32 registers) touched once per access keeps the plain-dict
+    walk competitive with any vectorized formulation.
+    """
+
+    def __init__(self, capacity: int = 32):
+        if capacity < 0:
+            raise MachineError("register capacity must be non-negative")
+        self.capacity = capacity
+        self._window: OrderedDict[int, None] = OrderedDict()
+        self._hits = 0
+
+    def feed(self, chunk: tuple[np.ndarray, np.ndarray]) -> np.ndarray:
+        """Filter one chunk; returns its boolean to-memory mask."""
+        addresses, is_write = chunk
+        n = len(addresses)
+        if self.capacity == 0 or n == 0:
+            return np.ones(n, dtype=bool)
+        elements = (np.asarray(addresses) >> ELEMENT_SHIFT).tolist()
+        writes = np.asarray(is_write).astype(bool).tolist()
+        window = self._window
+        capacity = self.capacity
+        keep = [True] * n
+        hits = 0
+        for pos, elem in enumerate(elements):
+            resident = elem in window
+            if resident:
+                window.move_to_end(elem)
+            else:
+                window[elem] = None
+                if len(window) > capacity:
+                    window.popitem(last=False)
+            if resident and not writes[pos]:
+                keep[pos] = False
+                hits += 1
+        self._hits += hits
+        return np.asarray(keep, dtype=bool)
+
+    def finish(self) -> RegisterFilterResult:
+        """Accumulated hit count (no global mask in streaming mode)."""
+        return RegisterFilterResult(to_memory=None, load_hits=self._hits)
 
 
 def filter_loads(
@@ -45,25 +94,6 @@ def filter_loads(
     capacity: int = 32,
 ) -> RegisterFilterResult:
     """Filter the access stream through an LRU register window."""
-    if capacity < 0:
-        raise MachineError("register capacity must be non-negative")
-    n = len(addresses)
-    if capacity == 0 or n == 0:
-        return RegisterFilterResult(np.ones(n, dtype=bool), 0)
-    elements = (np.asarray(addresses) >> ELEMENT_SHIFT).tolist()
-    writes = np.asarray(is_write).astype(bool).tolist()
-    window: OrderedDict[int, None] = OrderedDict()
-    keep = [True] * n
-    hits = 0
-    for pos, elem in enumerate(elements):
-        resident = elem in window
-        if resident:
-            window.move_to_end(elem)
-        else:
-            window[elem] = None
-            if len(window) > capacity:
-                window.popitem(last=False)
-        if resident and not writes[pos]:
-            keep[pos] = False
-            hits += 1
-    return RegisterFilterResult(np.asarray(keep, dtype=bool), hits)
+    sink = RegisterFilterSink(capacity)
+    keep = sink.feed((addresses, is_write))
+    return RegisterFilterResult(to_memory=keep, load_hits=sink.finish().load_hits)

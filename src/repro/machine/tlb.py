@@ -36,17 +36,41 @@ class TLBConfig:
         return self.page_bytes.bit_length() - 1
 
 
+class TLBSink:
+    """Streaming TLB replay over address chunks.
+
+    The LRU window persists across chunks; most chunks touch few distinct
+    pages, so the per-access Python walk is cheap relative to the caches.
+    """
+
+    def __init__(self, config: TLBConfig):
+        self.config = config
+        self._window: OrderedDict[int, None] = OrderedDict()
+        self._misses = 0
+
+    def feed(self, addresses: np.ndarray) -> None:
+        """Translate one chunk of byte addresses."""
+        pages = (np.asarray(addresses) >> self.config.page_shift).tolist()
+        window = self._window
+        entries = self.config.entries
+        misses = 0
+        for page in pages:
+            if page in window:
+                window.move_to_end(page)
+            else:
+                misses += 1
+                window[page] = None
+                if len(window) > entries:
+                    window.popitem(last=False)
+        self._misses += misses
+
+    def finish(self) -> int:
+        """Total TLB misses."""
+        return self._misses
+
+
 def simulate_tlb(config: TLBConfig, addresses: np.ndarray) -> int:
     """Number of TLB misses over the address stream (cold-start)."""
-    pages = (np.asarray(addresses) >> config.page_shift).tolist()
-    window: OrderedDict[int, None] = OrderedDict()
-    misses = 0
-    for page in pages:
-        if page in window:
-            window.move_to_end(page)
-        else:
-            misses += 1
-            window[page] = None
-            if len(window) > config.entries:
-                window.popitem(last=False)
-    return misses
+    sink = TLBSink(config)
+    sink.feed(addresses)
+    return sink.finish()

@@ -22,15 +22,12 @@ from repro.machine.cache import CacheConfig
 class WritebackResult:
     """Misses and dirty evictions of one replay."""
 
-    misses: np.ndarray  # per-access bool
+    miss_count: int
     writebacks: int
     #: dirty lines still resident at the end (flushed at program exit)
     dirty_at_end: int
-
-    @property
-    def miss_count(self) -> int:
-        """Total misses."""
-        return int(self.misses.sum())
+    #: Per-access miss mask; ``None`` unless requested (``keep_mask``).
+    misses: np.ndarray | None = None
 
     @property
     def total_writeback_lines(self) -> int:
@@ -38,42 +35,82 @@ class WritebackResult:
         return self.writebacks + self.dirty_at_end
 
 
+class WritebackSink:
+    """Streaming write-allocate/write-back replay.
+
+    Consumes ``(addresses, is_write)`` chunks; per-set ``[line, dirty]``
+    residency state persists across chunks.
+    """
+
+    def __init__(self, config: CacheConfig, *, keep_mask: bool = False):
+        self.config = config
+        # Per set: list of [line, dirty] in MRU order.
+        self._sets: list[list[list]] = [[] for _ in range(config.num_sets)]
+        self._writebacks = 0
+        self._miss_count = 0
+        self._mask_chunks: list[np.ndarray] | None = [] if keep_mask else None
+
+    def feed(self, chunk: tuple[np.ndarray, np.ndarray]) -> np.ndarray:
+        """Replay one chunk; returns its per-access miss mask."""
+        addresses, is_write = chunk
+        if len(addresses) != len(is_write):
+            raise MachineError("addresses and is_write must align")
+        n = len(addresses)
+        miss_list = [False] * n
+        if n:
+            lines = (np.asarray(addresses) >> self.config.line_shift).tolist()
+            writes = np.asarray(is_write).astype(bool).tolist()
+            nsets = self.config.num_sets
+            assoc = self.config.assoc
+            sets = self._sets
+            for pos, line in enumerate(lines):
+                ways = sets[line % nsets]
+                hit = None
+                for way in ways:
+                    if way[0] == line:
+                        hit = way
+                        break
+                if hit is not None:
+                    if ways[0] is not hit:
+                        ways.remove(hit)
+                        ways.insert(0, hit)
+                    if writes[pos]:
+                        hit[1] = True
+                else:
+                    miss_list[pos] = True
+                    ways.insert(0, [line, writes[pos]])
+                    if len(ways) > assoc:
+                        victim = ways.pop()
+                        if victim[1]:
+                            self._writebacks += 1
+        mask = np.asarray(miss_list, dtype=bool)
+        self._miss_count += int(mask.sum())
+        if self._mask_chunks is not None:
+            self._mask_chunks.append(mask)
+        return mask
+
+    def finish(self) -> WritebackResult:
+        """Accumulated totals (plus the miss mask when requested)."""
+        dirty = sum(1 for ways in self._sets for way in ways if way[1])
+        mask = None
+        if self._mask_chunks is not None:
+            mask = (
+                np.concatenate(self._mask_chunks)
+                if self._mask_chunks
+                else np.zeros(0, dtype=bool)
+            )
+        return WritebackResult(
+            miss_count=self._miss_count,
+            writebacks=self._writebacks,
+            dirty_at_end=dirty,
+            misses=mask,
+        )
+
+
 def simulate_writeback(
     config: CacheConfig, addresses: np.ndarray, is_write: np.ndarray
 ) -> WritebackResult:
-    """Replay with write-allocate, write-back semantics."""
-    if len(addresses) != len(is_write):
-        raise MachineError("addresses and is_write must align")
-    n = len(addresses)
-    if n == 0:
-        return WritebackResult(np.zeros(0, dtype=bool), 0, 0)
-    lines = (np.asarray(addresses) >> config.line_shift).tolist()
-    writes = np.asarray(is_write).astype(bool).tolist()
-    nsets = config.num_sets
-    assoc = config.assoc
-    # Per set: list of [line, dirty] in MRU order.
-    sets: list[list[list]] = [[] for _ in range(nsets)]
-    miss_list = [False] * n
-    writebacks = 0
-    for pos, line in enumerate(lines):
-        ways = sets[line % nsets]
-        hit = None
-        for way in ways:
-            if way[0] == line:
-                hit = way
-                break
-        if hit is not None:
-            if ways[0] is not hit:
-                ways.remove(hit)
-                ways.insert(0, hit)
-            if writes[pos]:
-                hit[1] = True
-        else:
-            miss_list[pos] = True
-            ways.insert(0, [line, writes[pos]])
-            if len(ways) > assoc:
-                victim = ways.pop()
-                if victim[1]:
-                    writebacks += 1
-    dirty = sum(1 for ways in sets for way in ways if way[1])
-    return WritebackResult(np.asarray(miss_list, dtype=bool), writebacks, dirty)
+    """Replay with write-allocate, write-back semantics (one-chunk wrapper)."""
+    sink = WritebackSink(config, keep_mask=True)
+    sink.feed((addresses, is_write))
+    return sink.finish()

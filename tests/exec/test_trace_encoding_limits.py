@@ -1,0 +1,55 @@
+"""Layout-time validation of the trace event encoding.
+
+A memory event packs the linear element index into ADDR_BITS (40) low
+bits; an array too large for that field would silently alias its high
+indices into the array-id field. Traced runs must refuse it up front.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.exec.compiled import CompiledProgram
+from repro.exec.events import ADDR_MASK, check_addressable
+from repro.ir.builder import assign, idx, loop, sym, val
+from repro.ir.program import ArrayDecl, Program
+
+N = sym("N")
+
+
+def cubed_prog():
+    # A(N, N, N): N = 2^14 overflows the 40-bit index field (2^42 elements).
+    return Program(
+        "big",
+        ("N",),
+        (ArrayDecl("A", (N, N, N)),),
+        (),
+        (assign(idx("A", val(1), val(1), val(1)), 1.0),),
+    )
+
+
+class TestCheckAddressable:
+    def test_boundary_is_inclusive(self):
+        check_addressable("p", "A", ADDR_MASK + 1)  # exactly 2^40: fine
+        with pytest.raises(ExecutionError, match="40-bit"):
+            check_addressable("p", "A", ADDR_MASK + 2)
+
+    def test_traced_run_rejects_oversized_array(self):
+        cp = CompiledProgram(cubed_prog(), trace=True)
+        with pytest.raises(ExecutionError, match="do not fit"):
+            cp.run({"N": 1 << 14})
+        with pytest.raises(ExecutionError, match="do not fit"):
+            cp.run_streaming({"N": 1 << 14})
+
+    def test_untraced_run_is_not_constrained(self):
+        # Without tracing there is no event encoding to protect; the
+        # guard must not fire (the array below is small anyway).
+        p = Program(
+            "small",
+            ("N",),
+            (ArrayDecl("A", (N,)),),
+            (),
+            (loop("i", 1, N, [assign(idx("A", sym("i")), 3.0)]),),
+        )
+        out = CompiledProgram(p, trace=False).run({"N": 4})
+        assert np.allclose(out.arrays["A"], 3.0)
