@@ -1,9 +1,11 @@
-"""Machine-model replay throughput: materialized oracle vs streaming sinks.
+"""Machine-model throughput: trace producer and trace consumers.
 
-The streaming refactor's acceptance check: on a 1M-event address trace the
-vectorized :class:`~repro.machine.cache.CacheSink` must replay at least 5x
-faster than the per-access reference simulator it replaced. The measured
-events/sec of both paths (and the fused hierarchy pipeline) land in
+Two acceptance checks live here. The consumer side (PR 2): on a 1M-event
+address trace the vectorized :class:`~repro.machine.cache.CacheSink` must
+replay at least 5x faster than the per-access reference simulator it
+replaced. The producer side (this PR): the block codegen tier must
+*generate* encoded events at least 5x faster than the scalar tier on a
+>= 1M-event kernel. The measured events/sec of every path land in
 ``extra_info`` so ``--benchmark-json`` output carries the evidence.
 """
 
@@ -13,6 +15,9 @@ import time
 
 import numpy as np
 
+from repro.exec.compiled import CompiledProgram
+from repro.experiments.runner import build_program
+from repro.kernels.registry import get_kernel
 from repro.machine.cache import CacheSink, simulate_cache_reference
 from repro.machine.hierarchy import HierarchySink
 from repro.machine.sinks import DEFAULT_CHUNK_EVENTS
@@ -65,6 +70,50 @@ def test_cache_replay_throughput(benchmark, sweep_config):
     if t_vec:
         info["streaming_events_per_sec"] = round(len(addrs) / t_vec)
         info["speedup"] = round(t_ref / t_vec, 2)
+    benchmark.extra_info.update(info)
+
+
+class _CountSink:
+    """Null consumer: counts events so the producer cost dominates."""
+
+    def __init__(self) -> None:
+        self.events = 0
+
+    def feed(self, chunk: np.ndarray) -> None:
+        self.events += len(chunk)
+
+
+def test_producer_throughput_block_vs_scalar(benchmark):
+    """Block-tier event generation is >= 5x the scalar tier on a
+    >= 1M-event kernel (Jacobi: long unit-stride interior sweeps, the
+    shape the block tier exists for)."""
+    program, _, _ = build_program("jacobi", "seq")
+    params = {"N": 280, "M": 6}
+    inputs = get_kernel("jacobi").make_inputs(params, np.random.default_rng(7))
+
+    def produce(mode: str) -> int:
+        cp = CompiledProgram(program, trace=True, exec_mode=mode)
+        sink = _CountSink()
+        cp.run_streaming(params, dict(inputs), memory_sink=sink)
+        return sink.events
+
+    t0 = time.perf_counter()
+    scalar_events = produce("scalar")
+    t_scalar = time.perf_counter() - t0
+    assert scalar_events >= 1_000_000
+
+    block_events = benchmark.pedantic(
+        lambda: produce("block"), rounds=1, iterations=1
+    )
+    t_block = min(benchmark.stats.stats.data) if benchmark.stats else None
+    assert block_events == scalar_events
+    info = {
+        "events": scalar_events,
+        "scalar_events_per_sec": round(scalar_events / t_scalar),
+    }
+    if t_block:
+        info["block_events_per_sec"] = round(block_events / t_block)
+        info["producer_speedup"] = round(t_scalar / t_block, 2)
     benchmark.extra_info.update(info)
 
 

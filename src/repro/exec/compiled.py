@@ -3,18 +3,32 @@
 The hot path of every experiment is executing a kernel while recording its
 memory-access and branch traces. A tree-walking interpreter pays dispatch
 overhead on every node; instead we compile the IR once into a Python
-function (closures over flat Python lists for array storage, encoded
-``list.append`` calls for trace events) and call it per run.
+function and call it per run. Compilation has **two codegen tiers**,
+selected per innermost loop:
+
+- the **scalar tier** executes one Python statement per IR statement per
+  iteration (closures over flat storage, one encoded ``list.append`` per
+  trace event) — the oracle, able to run any program;
+- the **block tier** (``exec_mode="block"``, the default) compiles an
+  eligible innermost ``Loop`` — straight-line affine ``Assign`` bodies
+  with no blocking loop-carried dependence, see
+  :mod:`repro.exec.blocktier` — into whole-trip NumPy operations: one
+  gather/compute/scatter per statement and one ``(trip, events/iter)``
+  int64 event matrix raveled into the trace stream per loop entry.
+  Static per-iteration :class:`_Costs` are multiplied by the trip count,
+  so counters stay exact; a runtime dependence guard routes unsafe loop
+  *entries* to the scalar fallback, keeping traces, values and counters
+  bit-identical to ``exec_mode="scalar"`` (asserted by the differential
+  suite in ``tests/exec/test_block_scalar_differential.py``).
 
 Traced runs come in two modes. :meth:`CompiledProgram.run` materializes
 the full trace into one :class:`~repro.exec.events.TraceBuffers` (the
 debugging path). :meth:`CompiledProgram.run_streaming` instead flushes the
 event buffers to :class:`~repro.machine.sinks.TraceSink` consumers in
-bounded NumPy chunks: the generated code checks the buffer level at every
-loop-iteration boundary (one ``len`` comparison per iteration, so the
-per-event hot path stays a plain ``list.append``) and drains through the
-sinks, keeping peak trace memory at roughly the chunk size no matter how
-many events a run produces.
+bounded NumPy chunks: the generated scalar-tier code checks the buffer
+level at every loop-iteration boundary and drains through the sinks, and
+block-tier loops hand their event matrices to the same flush machinery as
+ready-made int64 chunks.
 
 Cost accounting model (documented in DESIGN.md):
 
@@ -29,19 +43,26 @@ Cost accounting model (documented in DESIGN.md):
 from __future__ import annotations
 
 import math
+import os
 from typing import Mapping
 
 import numpy as np
 
 from repro.errors import ExecutionError
+from repro.exec.blocktier import (
+    BlockPlan,
+    analyze_block_loop,
+    block_guard,
+    resolve_min_block_trip,
+)
 from repro.exec.events import (
-    ADDR_BITS,
     DEFAULT_CHUNK_EVENTS,
     Counters,
     RunResult,
     TraceBuffers,
     check_addressable,
     evaluate_extents,
+    memory_event_base,
 )
 from repro.ir.expr import (
     ArrayRef,
@@ -56,9 +77,10 @@ from repro.ir.expr import (
     Select,
     UnOp,
     VarRef,
+    map_expr,
 )
 from repro.ir.program import Program
-from repro.ir.stmt import Assign, If, Loop, Stmt
+from repro.ir.stmt import Assign, If, Loop, Stmt, walk_stmts
 
 _CMP_PY = {"==": "==", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
 
@@ -66,9 +88,29 @@ _CMP_PY = {"==": "==", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
 #: guard in generated code never fires.
 _NEVER_FLUSH = 1 << 62
 
+#: Execution tiers a program can be compiled for.
+EXEC_MODES = ("block", "scalar")
+
+
+def resolve_exec_mode(override: str | None = None) -> str:
+    """The effective executor tier: *override*, else ``REPRO_EXEC_MODE``,
+    else ``"block"`` (the two-tier executor; ``"scalar"`` is the oracle)."""
+    mode = override or os.environ.get("REPRO_EXEC_MODE", "block")
+    if mode not in EXEC_MODES:
+        raise ExecutionError(
+            f"exec_mode must be one of {EXEC_MODES}, got {mode!r}"
+        )
+    return mode
+
 
 def _noop_flush() -> None:
     return None
+
+
+def _fp_errstate():
+    """Error state under which block-tier float math runs: raise where the
+    scalar tier would raise (division by zero, invalid sqrt)."""
+    return np.errstate(divide="raise", invalid="raise", over="ignore")
 
 
 def _py(name: str) -> str:
@@ -93,13 +135,29 @@ class _Costs:
             if n:
                 lines.append(f"{indent}_c_{name} += {n}")
 
+    def emit_scaled(self, lines: list[str], indent: str, trip: str) -> None:
+        """Per-iteration counts times a runtime trip count (block tier)."""
+        for name in ("loads", "stores", "flops", "intops", "branches", "loop_iters"):
+            n = getattr(self, name)
+            if n:
+                lines.append(f"{indent}_c_{name} += {trip} * {n}")
+
 
 class _Codegen:
     """Generates the body of the compiled kernel function."""
 
-    def __init__(self, program: Program, trace: bool):
+    def __init__(self, program: Program, trace: bool, *, block_tier: bool = False):
         self.program = program
         self.trace = trace
+        self.block_tier = block_tier
+        # Storage representation must be fixed before any statement is
+        # emitted (scalar-tier subscript/value reads are wrapped for
+        # ndarray storage), so pre-scan for block-eligible loops.
+        self.ndarray_storage = block_tier and any(
+            isinstance(s, Loop) and analyze_block_loop(s) is not None
+            for s in walk_stmts(program.body)
+        )
+        self.block_loops = 0
         self.array_ids = {a.name: i for i, a in enumerate(program.arrays)}
         self.ranks = {a.name: a.rank for a in program.arrays}
         self.branch_sites: dict[int, str] = {}
@@ -116,18 +174,30 @@ class _Codegen:
         self.branch_sites[site] = str(cond)
         return site
 
+    def _lin_parts(
+        self,
+        array: str,
+        indices: tuple[Expr, ...],
+        lines: list[str],
+        indent: str,
+        costs: _Costs,
+    ) -> str:
+        """The flat (column-major) element-index expression for *indices*."""
+        parts = []
+        for d, sub in enumerate(indices):
+            code = self._expr(sub, lines, indent, costs, in_subscript=True)
+            stride = f"_s_{array}_{d}"
+            parts.append(f"(({code})-1)" if d == 0 else f"{stride}*(({code})-1)")
+        costs.intops += len(indices)
+        return " + ".join(parts)
+
     def _linear_index(
         self, ref: ArrayRef, lines: list[str], indent: str, costs: _Costs
     ) -> str:
         """Emit computation of the flat (column-major) element index."""
-        parts = []
-        for d, sub in enumerate(ref.indices):
-            code = self._expr(sub, lines, indent, costs, in_subscript=True)
-            stride = f"_s_{ref.name}_{d}"
-            parts.append(f"(({code})-1)" if d == 0 else f"{stride}*(({code})-1)")
-        costs.intops += len(ref.indices)
+        expr = self._lin_parts(ref.name, ref.indices, lines, indent, costs)
         tmp = self.fresh("l")
-        lines.append(f"{indent}{tmp} = {' + '.join(parts)}")
+        lines.append(f"{indent}{tmp} = {expr}")
         return tmp
 
     # -- expressions ----------------------------------------------------------
@@ -148,10 +218,15 @@ class _Codegen:
             lin = self._linear_index(expr, lines, indent, costs)
             costs.loads += 1
             if self.trace:
-                aid = self.array_ids[expr.name]
-                code = (aid * 2) << ADDR_BITS
+                code = memory_event_base(self.array_ids[expr.name], False)
                 lines.append(f"{indent}_ma({code} + {lin})")
-            return f"{_py(expr.name)}[{lin}]"
+            elem = f"{_py(expr.name)}[{lin}]"
+            if self.ndarray_storage:
+                # Keep scalar-tier semantics identical to list storage:
+                # subscript positions need Python ints, value positions
+                # plain floats (np.float64 round-trips bit-exactly).
+                return f"int({elem})" if in_subscript else f"float({elem})"
+            return elem
         if isinstance(expr, BinOp):
             lhs = self._expr(expr.lhs, lines, indent, costs, in_subscript=in_subscript)
             rhs = self._expr(expr.rhs, lines, indent, costs, in_subscript=in_subscript)
@@ -265,8 +340,7 @@ class _Codegen:
         lin = self._linear_index(target, lines, indent, costs)
         costs.stores += 1
         if self.trace:
-            aid = self.array_ids[target.name]
-            code = (aid * 2 + 1) << ADDR_BITS
+            code = memory_event_base(self.array_ids[target.name], True)
             lines.append(f"{indent}_ma({code} + {lin})")
         lines.append(f"{indent}{_py(target.name)}[{lin}] = {tmp}")
 
@@ -300,6 +374,16 @@ class _Codegen:
         step = self._expr(stmt.step, head, indent, costs, in_subscript=True)
         self.lines.extend(head)
         costs.emit(self.lines, indent)
+        plan = analyze_block_loop(stmt) if self.block_tier else None
+        if plan is None:
+            self._emit_scalar_loop(stmt, indent, lo, hi, step)
+        else:
+            self._emit_two_tier_loop(stmt, plan, indent, lo, hi)
+
+    def _emit_scalar_loop(
+        self, stmt: Loop, indent: str, lo: str, hi: str, step: str
+    ) -> None:
+        """The per-iteration tier: one Python loop, per-event appends."""
         if isinstance(stmt.step, Const) and stmt.step.value == 1:
             self.lines.append(f"{indent}for {_py(stmt.var)} in range({lo}, ({hi}) + 1):")
         else:
@@ -318,12 +402,146 @@ class _Codegen:
         body_costs.intops += 2
         self._block(stmt.body, indent + "    ", extra=body_costs)
 
+    # -- block tier -------------------------------------------------------
+    def _emit_lin_at(
+        self, array: str, indices: tuple[Expr, ...], var: str, var_code: str,
+        indent: str,
+    ) -> str:
+        """Emit the flat element index with the loop variable bound to the
+        runtime value named *var_code* (an int or an int64 vector).
+
+        Cost-free: the scalar tier already accounts for subscript
+        arithmetic once per iteration; these are simulator-side values.
+        """
+        subst = tuple(
+            map_expr(
+                sub,
+                lambda e: VarRef(var_code)
+                if isinstance(e, VarRef) and e.name == var
+                else e,
+            )
+            for sub in indices
+        )
+        scratch: list[str] = []
+        expr = self._lin_parts(array, subst, scratch, indent, _Costs())
+        assert not scratch, "affine subscripts emit no support lines"
+        tmp = self.fresh("l")
+        self.lines.append(f"{indent}{tmp} = {expr}")
+        return tmp
+
+    def _vec_expr(self, expr: Expr, reads, px: dict[int, str]) -> str:
+        """NumPy-elementwise code for a block-eligible value expression.
+
+        *reads* is an iterator over the statement's read accesses in the
+        scalar tier's emission order; *px* maps pattern id -> the name of
+        its precomputed index vector.
+        """
+        if isinstance(expr, Const):
+            return repr(expr.value)
+        if isinstance(expr, VarRef):
+            return _py(expr.name)
+        if isinstance(expr, ArrayRef):
+            acc = next(reads)
+            return f"{_py(expr.name)}[{px[acc.pattern]}]"
+        if isinstance(expr, BinOp):
+            lhs = self._vec_expr(expr.lhs, reads, px)
+            rhs = self._vec_expr(expr.rhs, reads, px)
+            return f"({lhs} {expr.op} {rhs})"
+        if isinstance(expr, UnOp):
+            return f"(-{self._vec_expr(expr.operand, reads, px)})"
+        if isinstance(expr, Call):
+            args = [self._vec_expr(a, reads, px) for a in expr.args]
+            if expr.func == "sqrt":
+                return f"_npsqrt({args[0]})"
+            if expr.func == "abs":
+                return f"_npabs({args[0]})"
+        raise ExecutionError(f"not block-vectorizable: {expr!r}")
+
+    def _emit_two_tier_loop(
+        self, stmt: Loop, plan: BlockPlan, indent: str, lo: str, hi: str
+    ) -> None:
+        """Runtime-guarded block path with the scalar loop as fallback."""
+        self.block_loops += 1
+        assert isinstance(stmt.step, Const)
+        step = stmt.step.value
+        ind2 = indent + "    "
+        lo_v, hi_v = self.fresh("lo"), self.fresh("hi")
+        self.lines.append(f"{indent}{lo_v} = {lo}")
+        self.lines.append(f"{indent}{hi_v} = {hi}")
+        trip, ok = self.fresh("T"), self.fresh("ok")
+        self.lines.append(
+            f"{indent}{trip} = ({hi_v} - {lo_v}) // {step} + 1 "
+            f"if {hi_v} >= {lo_v} else 0"
+        )
+        # Runtime dependence guard: concrete (slope, intercept) per access
+        # pattern, affinely extrapolated from the first two lattice points.
+        self.lines.append(f"{indent}if {trip} >= _mbt:")
+        v0, v1 = self.fresh("q"), self.fresh("q")
+        self.lines.append(f"{ind2}{v0} = {lo_v}")
+        self.lines.append(f"{ind2}{v1} = {lo_v} + {step}")
+        ab_parts = []
+        for array, indices in plan.patterns:
+            b_name = self._emit_lin_at(array, indices, stmt.var, v0, ind2)
+            at_next = self._emit_lin_at(array, indices, stmt.var, v1, ind2)
+            a_name = self.fresh("a")
+            self.lines.append(f"{ind2}{a_name} = {at_next} - {b_name}")
+            ab_parts.append(f"({a_name}, {b_name})")
+        self.lines.append(
+            f"{ind2}{ok} = _bg(({', '.join(ab_parts)},), "
+            f"{plan.write_patterns!r}, {plan.pairs!r}, {trip})"
+        )
+        self.lines.append(f"{indent}else:")
+        self.lines.append(f"{indent}    {ok} = False")
+
+        self.lines.append(f"{indent}if {ok}:")
+        iv = self.fresh("iv")
+        self.lines.append(
+            f"{ind2}{iv} = _np.arange({lo_v}, {hi_v} + 1, {step}, dtype=_np.int64)"
+        )
+        px: dict[int, str] = {}
+        for pid, (array, indices) in enumerate(plan.patterns):
+            px[pid] = self._emit_lin_at(array, indices, stmt.var, iv, ind2)
+        self.lines.append(f"{ind2}with _fpe():")
+        ind3 = ind2 + "    "
+        acc_iter = iter(plan.accesses)
+        for body_stmt in stmt.body:
+            assert isinstance(body_stmt, Assign)
+            assert isinstance(body_stmt.target, ArrayRef)
+            val = self._vec_expr(body_stmt.value, acc_iter, px)
+            wacc = next(acc_iter)
+            self.lines.append(
+                f"{ind3}{_py(body_stmt.target.name)}[{px[wacc.pattern]}] = {val}"
+            )
+        if self.trace:
+            k = len(plan.accesses)
+            ev = self.fresh("E")
+            self.lines.append(
+                f"{ind2}{ev} = _np.empty(({trip}, {k}), dtype=_np.int64)"
+            )
+            for col, acc in enumerate(plan.accesses):
+                base = memory_event_base(self.array_ids[acc.array], acc.is_write)
+                self.lines.append(f"{ind2}{ev}[:, {col}] = {base} + {px[acc.pattern]}")
+            self.lines.append(f"{ind2}_mv({ev}.reshape(-1))")
+        # Static per-iteration costs, scaled by the trip count. The probe
+        # replays the scalar tier's codegen against scratch buffers so the
+        # counts are the scalar path's, by construction.
+        probe = _Costs()
+        probe.loop_iters += 1
+        probe.intops += 2
+        scratch: list[str] = []
+        for body_stmt in stmt.body:
+            self._assign(body_stmt, scratch, ind2, probe)
+        probe.emit_scaled(self.lines, ind2, trip)
+
+        self.lines.append(f"{indent}else:")
+        self._emit_scalar_loop(stmt, indent + "    ", lo_v, hi_v, str(step))
+
     # -- whole function -------------------------------------------------------
     def generate(self) -> str:
         p = self.program
         ind = "    "
         out: list[str] = [
-            "def _kernel(_params, _arrays, _exts, _mem, _bra, _cap, _flush):"
+            "def _kernel(_params, _arrays, _exts, _mem, _bra, _cap, _flush, _mv):"
         ]
         out.append(f"{ind}_sqrt = _math.sqrt")
         for name in p.params:
@@ -362,16 +580,44 @@ class CompiledProgram:
 
         cp = CompiledProgram(program, trace=True)
         result = cp.run({"N": 64}, {"A": a0})
+
+    ``exec_mode`` selects the codegen tier: ``"block"`` (default, or via
+    ``REPRO_EXEC_MODE``) vectorizes eligible innermost loops and falls
+    back per loop / per entry; ``"scalar"`` is the pure per-iteration
+    oracle. Both produce bit-identical traces, counters and values.
+    ``min_block_trip`` (default ``REPRO_BLOCK_MIN_TRIP`` or 16) is the
+    smallest trip count worth vectorizing. :attr:`block_loops` counts the
+    loops that got a block path.
     """
 
-    def __init__(self, program: Program, *, trace: bool = False):
+    def __init__(
+        self,
+        program: Program,
+        *,
+        trace: bool = False,
+        exec_mode: str | None = None,
+        min_block_trip: int | None = None,
+    ):
         self.program = program
         self.trace = trace
-        gen = _Codegen(program, trace)
+        self.exec_mode = resolve_exec_mode(exec_mode)
+        self.min_block_trip = resolve_min_block_trip(min_block_trip)
+        gen = _Codegen(program, trace, block_tier=self.exec_mode == "block")
         self.source = gen.generate()
         self.array_ids = gen.array_ids
         self.branch_sites = gen.branch_sites
-        namespace: dict = {"_math": math}
+        #: Number of innermost loops compiled with a block (vector) path.
+        self.block_loops = gen.block_loops
+        self._ndarray_storage = gen.ndarray_storage
+        namespace: dict = {
+            "_math": math,
+            "_np": np,
+            "_npsqrt": np.sqrt,
+            "_npabs": np.abs,
+            "_bg": block_guard,
+            "_mbt": self.min_block_trip,
+            "_fpe": _fp_errstate,
+        }
         exec(compile(self.source, f"<repro:{program.name}>", "exec"), namespace)
         self._fn = namespace["_kernel"]
 
@@ -379,15 +625,20 @@ class CompiledProgram:
         self,
         params: Mapping[str, int],
         inputs: Mapping[str, np.ndarray] | None,
-    ) -> tuple[dict[str, tuple[int, ...]], dict[str, list]]:
-        """Evaluate extents, validate trace addressability, seed storage."""
+    ) -> tuple[dict[str, tuple[int, ...]], dict[str, object]]:
+        """Evaluate extents, validate trace addressability, seed storage.
+
+        Storage is a flat column-major Python list per array on the scalar
+        tier and a flat float64 ndarray when any loop has a block path
+        (gather/scatter needs ndarrays; scalar statements index either).
+        """
         inputs = inputs or {}
         p = self.program
         missing = set(p.params) - set(params)
         if missing:
             raise ExecutionError(f"missing parameters: {sorted(missing)}")
         exts: dict[str, tuple[int, ...]] = {}
-        storage: dict[str, list] = {}
+        storage: dict[str, object] = {}
         for a in p.arrays:
             shape = evaluate_extents(a.extents, params)
             exts[a.name] = shape
@@ -401,7 +652,10 @@ class CompiledProgram:
                     raise ExecutionError(
                         f"input {a.name} has shape {arr.shape}, expected {shape}"
                     )
-                storage[a.name] = arr.flatten(order="F").tolist()
+                flat = arr.flatten(order="F")
+                storage[a.name] = flat if self._ndarray_storage else flat.tolist()
+            elif self._ndarray_storage:
+                storage[a.name] = np.zeros(size, dtype=np.float64)
             else:
                 storage[a.name] = [0.0] * size
         return exts, storage
@@ -410,27 +664,32 @@ class CompiledProgram:
         self,
         params: Mapping[str, int],
         exts: dict[str, tuple[int, ...]],
-        storage: dict[str, list],
+        storage: dict[str, object],
         mem: list[int],
         bra: list[int],
         cap: int,
         flush,
+        emit_vec,
     ) -> tuple[Counters, dict[str, float]]:
         """Call the generated kernel and package counters."""
         try:
             (loads, stores, flops, intops, branches, iters, scalars) = self._fn(
-                dict(params), storage, exts, mem, bra, cap, flush
+                dict(params), storage, exts, mem, bra, cap, flush, emit_vec
             )
-        except (IndexError, ZeroDivisionError, KeyError) as exc:
+        except (IndexError, ZeroDivisionError, KeyError, FloatingPointError) as exc:
             raise ExecutionError(
                 f"runtime failure in {self.program.name}: {exc}"
             ) from exc
+        scalars = {
+            k: (v.item() if isinstance(v, np.generic) else v)
+            for k, v in scalars.items()
+        }
         return Counters(loads, stores, flops, intops, branches, iters), scalars
 
     def _result(
         self,
         exts: dict[str, tuple[int, ...]],
-        storage: dict[str, list],
+        storage: dict[str, object],
         counters: Counters,
         scalars: dict[str, float],
         trace: TraceBuffers | None,
@@ -463,10 +722,16 @@ class CompiledProgram:
         exts, storage = self._prepare(params, inputs)
         mem: list[int] = []
         bra: list[int] = []
+
+        def emit_vec(chunk: np.ndarray) -> None:
+            # Block-tier event matrices join the same materialized buffer
+            # the scalar tier appends to, preserving program order.
+            mem.extend(chunk.tolist())
+
         # A cap no run reaches: the flush guard never fires, so the
         # buffers simply accumulate the whole trace.
         counters, scalars = self._execute(
-            params, exts, storage, mem, bra, _NEVER_FLUSH, _noop_flush
+            params, exts, storage, mem, bra, _NEVER_FLUSH, _noop_flush, emit_vec
         )
         trace = None
         if self.trace:
@@ -495,9 +760,12 @@ class CompiledProgram:
         chunks. The caller owns the sinks' lifecycle and calls their
         ``finish()`` afterwards.
 
-        Chunks are at most ``chunk_events`` plus the events of one
-        innermost loop iteration (the guard sits at iteration
-        boundaries); peak trace memory is bounded accordingly.
+        Scalar-tier chunks are at most ``chunk_events`` plus the events
+        of one innermost loop iteration (the guard sits at iteration
+        boundaries). A block-tier loop entry materializes its own events
+        as one ``trip * events_per_iteration`` matrix, flushes any
+        pending scalar-tier events first (order is preserved), then feeds
+        the matrix through the sinks in ``chunk_events``-sized slices.
         """
         if not self.trace:
             raise ExecutionError("run_streaming() needs a traced program (trace=True)")
@@ -517,8 +785,17 @@ class CompiledProgram:
                     branch_sink.feed(np.asarray(bra, dtype=np.int64))
                 bra.clear()
 
+        def emit_vec(chunk: np.ndarray) -> None:
+            if mem:
+                if memory_sink is not None:
+                    memory_sink.feed(np.asarray(mem, dtype=np.int64))
+                mem.clear()
+            if memory_sink is not None:
+                for off in range(0, len(chunk), chunk_events):
+                    memory_sink.feed(chunk[off : off + chunk_events])
+
         counters, scalars = self._execute(
-            params, exts, storage, mem, bra, chunk_events, flush
+            params, exts, storage, mem, bra, chunk_events, flush, emit_vec
         )
         flush()  # tail events after the last loop boundary
         return self._result(exts, storage, counters, scalars, trace=None)
@@ -530,6 +807,9 @@ def run_compiled(
     inputs: Mapping[str, np.ndarray] | None = None,
     *,
     trace: bool = False,
+    exec_mode: str | None = None,
 ) -> RunResult:
     """One-shot compile + run."""
-    return CompiledProgram(program, trace=trace).run(params, inputs)
+    return CompiledProgram(program, trace=trace, exec_mode=exec_mode).run(
+        params, inputs
+    )

@@ -25,6 +25,16 @@ ADDR_BITS = 40
 ADDR_MASK = (1 << ADDR_BITS) - 1
 
 
+def memory_event_base(array_id: int, is_write: bool | int) -> int:
+    """The high bits of a memory event code; OR/add the linear index in.
+
+    Both codegen tiers build their codes from this one definition, so the
+    scalar per-event appends and the block tier's vectorized
+    ``base + index_vector`` emission cannot drift apart.
+    """
+    return (array_id * 2 + int(is_write)) << ADDR_BITS
+
+
 def decode_memory_events(
     codes: np.ndarray,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:

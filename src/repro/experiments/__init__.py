@@ -30,17 +30,20 @@ from repro.experiments.runner import (
     VariantMeasurement,
     build_program,
     clear_caches,
+    measure_points,
     measure_variant,
     run_pair,
 )
-from repro.experiments.sweep import SweepConfig, default_config
+from repro.experiments.sweep import SweepConfig, default_config, resolve_jobs
 
 __all__ = [
     "VariantMeasurement",
     "build_program",
     "clear_caches",
+    "measure_points",
     "measure_variant",
     "run_pair",
     "SweepConfig",
     "default_config",
+    "resolve_jobs",
 ]

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.runner import run_pair
+from repro.experiments.runner import measure_points, run_pair
 from repro.experiments.sweep import SweepConfig, default_config
 from repro.kernels.registry import KERNELS
 from repro.utils.tables import render_table
@@ -37,8 +37,22 @@ class Figure5Row:
 
 
 def generate(config: SweepConfig | None = None) -> list[Figure5Row]:
-    """Measure every (kernel, size) pair."""
+    """Measure every (kernel, size) pair.
+
+    The full grid is prefetched through :func:`measure_points` first
+    (parallel when ``REPRO_JOBS`` > 1); the assembly loop below then hits
+    the memo, so serial and parallel runs emit identical rows.
+    """
     config = config or default_config()
+    measure_points(
+        [
+            (kernel, variant, n)
+            for kernel in KERNELS
+            for n in config.sizes
+            for variant in ("seq", "tiled")
+        ],
+        config,
+    )
     rows: list[Figure5Row] = []
     for kernel in KERNELS:
         for n in config.sizes:

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.runner import measure_variant
+from repro.experiments.runner import measure_points, measure_variant
 from repro.experiments.sweep import SweepConfig, default_config
 from repro.utils.tables import render_table
 
@@ -52,6 +52,14 @@ class CholRow:
 def generate(config: SweepConfig | None = None, kernel: str = KERNEL) -> list[CholRow]:
     """Measure the Cholesky (by default) seq/tiled sweep."""
     config = config or default_config()
+    measure_points(
+        [
+            (kernel, variant, n)
+            for n in config.sizes
+            for variant in ("seq", "tiled_sunk")
+        ],
+        config,
+    )
     rows = []
     for n in config.sizes:
         seq = measure_variant(kernel, "seq", n, config).report

@@ -7,7 +7,7 @@ build its program with the :class:`~repro.pipeline.manager.PassManager`
 deterministic inputs, replay the traces through the simulated Octane2, and
 return the :class:`~repro.machine.perfcounters.PerfReport`.
 
-Measurements are memoised in-process (capped LRU; ``clear_caches()``
+Measurements are memoised in-process (capped LRU; :func:`clear_caches`
 resets) and, optionally, on disk (``REPRO_CACHE_DIR``; set
 ``REPRO_NO_CACHE=1`` to disable). Disk-cache keys embed a **content
 fingerprint** of the recipe, the emitted program, and the machine config
@@ -15,6 +15,15 @@ fingerprint** of the recipe, the emitted program, and the machine config
 pass parameter, the emitted code, or the cost model changes the filename,
 so stale entries are simply never read again. No hand-bumped version tag
 to forget.
+
+Sweep grids fan out across processes with :func:`measure_points`
+(``REPRO_JOBS``, default 1). Every worker starts with *empty* in-process
+memos (:func:`clear_caches` runs as the pool initializer) but shares the
+fingerprint-keyed disk cache, whose writes are atomic
+(temp file + ``os.replace``) so a concurrent reader can never observe a
+truncated report. The figure generators then assemble their output
+through the unchanged serial path, which finds every point already
+memoised — parallel runs are byte-identical to serial ones.
 """
 
 from __future__ import annotations
@@ -26,8 +35,12 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.exec.compiled import CompiledProgram
-from repro.experiments.sweep import SweepConfig
+from repro.exec.compiled import (
+    CompiledProgram,
+    resolve_exec_mode,
+    resolve_min_block_trip,
+)
+from repro.experiments.sweep import SweepConfig, resolve_jobs
 from repro.ir.program import Program
 from repro.kernels.registry import get_kernel, get_recipe
 from repro.machine.perfcounters import PerfReport, measure, measure_streaming
@@ -59,7 +72,13 @@ _compiled: LRUCache = LRUCache(maxsize=256)
 
 def clear_caches() -> None:
     """Drop every in-process memo (measurements, built programs,
-    compiled engines). Disk cache is untouched."""
+    compiled engines). Disk cache is untouched.
+
+    Also the :func:`measure_points` pool initializer: forked workers
+    inherit the parent's memos, and a sweep worker must re-measure (or
+    disk-load) rather than answer from inherited state, so each worker
+    starts cold in-process and warm on disk.
+    """
     _memo.clear()
     _built.clear()
     _compiled.clear()
@@ -81,7 +100,9 @@ def _load_cached(key: str) -> PerfReport | None:
     try:
         data = json.loads(path.read_text())
         return PerfReport(**data)
-    except (json.JSONDecodeError, TypeError):
+    except (OSError, json.JSONDecodeError, TypeError):
+        # Unreadable or malformed entries mean "not cached": recompute
+        # and overwrite rather than fail the sweep.
         return None
 
 
@@ -90,7 +111,15 @@ def _store_cached(key: str, report: PerfReport) -> None:
     if d is None:
         return
     d.mkdir(parents=True, exist_ok=True)
-    (d / f"{key}.json").write_text(json.dumps(report.as_dict()))
+    # Write-then-rename so concurrent sweep workers never expose a
+    # truncated JSON file to a reader; os.replace is atomic within the
+    # cache directory.
+    tmp = d / f".{key}.{os.getpid()}.tmp"
+    try:
+        tmp.write_text(json.dumps(report.as_dict()))
+        os.replace(tmp, d / f"{key}.json")
+    except OSError:
+        tmp.unlink(missing_ok=True)
 
 
 def build_program(
@@ -132,6 +161,35 @@ def _trace_mode(override: str | None) -> str:
     return mode
 
 
+def _tile_for(variant: str, n: int, config: SweepConfig, tile: int | None) -> int | None:
+    if variant in ("tiled", "tiled_sunk") and tile is None:
+        return config.tile_for(n)
+    return tile
+
+
+def _point_key(
+    kernel: str,
+    variant: str,
+    n: int,
+    config: SweepConfig,
+    tile: int | None,
+    program: Program,
+    recipe: VariantRecipe,
+) -> str:
+    """Memo/disk key of one measurement: human-readable prefix plus the
+    content fingerprint (shared by the parent and every sweep worker)."""
+    params = _params_for(kernel, n, config)
+    return (
+        f"{kernel}-{variant}-N{n}-"
+        + measurement_fingerprint(
+            recipe,
+            program,
+            config.machine,
+            {"params": params, "tile": tile, "seed": config.seed},
+        )
+    )
+
+
 def measure_variant(
     kernel: str,
     variant: str,
@@ -147,21 +205,14 @@ def measure_variant(
     ``"stream"`` (default) drives the fused sink pipeline in bounded
     memory; ``"materialize"`` builds the full trace first (debugging
     path). Results are bit-identical, so the cache key is unaffected;
-    the ``REPRO_TRACE_MODE`` env var overrides the default.
+    the ``REPRO_TRACE_MODE`` env var overrides the default. The same
+    holds for the executor tier (``REPRO_EXEC_MODE``): block and scalar
+    produce bit-identical reports by contract.
     """
-    if variant in ("tiled", "tiled_sunk") and tile is None:
-        tile = config.tile_for(n)
+    tile = _tile_for(variant, n, config, tile)
     program, pipeline, recipe = build_program(kernel, variant, tile=tile)
     params = _params_for(kernel, n, config)
-    key = (
-        f"{kernel}-{variant}-N{n}-"
-        + measurement_fingerprint(
-            recipe,
-            program,
-            config.machine,
-            {"params": params, "tile": tile, "seed": config.seed},
-        )
-    )
+    key = _point_key(kernel, variant, n, config, tile, program, recipe)
     if key in _memo:
         return _memo[key]
 
@@ -178,7 +229,13 @@ def measure_variant(
     def compile_program():
         return CompiledProgram(program, trace=True)
 
-    cp = _compiled.get_or_compute((kernel, variant, tile), compile_program)
+    # The engine memo must key on the effective tier configuration:
+    # flipping REPRO_EXEC_MODE / REPRO_BLOCK_MIN_TRIP mid-process must
+    # not resurrect an engine compiled for the other tier.
+    cp = _compiled.get_or_compute(
+        (kernel, variant, tile, resolve_exec_mode(), resolve_min_block_trip()),
+        compile_program,
+    )
     if _trace_mode(trace_mode) == "stream":
         _, report = measure_streaming(cp, params, config.machine, inputs)
     else:
@@ -188,6 +245,72 @@ def measure_variant(
     result = VariantMeasurement(kernel, variant, n, tile, report, pipeline)
     _memo[key] = result
     return result
+
+
+def _measure_point_worker(
+    point: tuple[str, str, int], config: SweepConfig
+) -> tuple[tuple[str, str, int], dict[str, float]]:
+    """Sweep-pool body: measure one point, return its report as a dict.
+
+    Runs in a worker whose in-process memos were cleared by the pool
+    initializer; the measurement also lands in the shared disk cache (if
+    enabled) via the atomic writer.
+    """
+    kernel, variant, n = point
+    return point, measure_variant(kernel, variant, n, config).report.as_dict()
+
+
+def measure_points(
+    points: list[tuple[str, str, int]],
+    config: SweepConfig,
+    *,
+    jobs: int | None = None,
+) -> list[VariantMeasurement]:
+    """Measure a grid of (kernel, variant, N) points, optionally in
+    parallel, and return them in input order.
+
+    ``jobs`` (default: ``REPRO_JOBS``, i.e. 1) sets the worker-process
+    count. With 1 the points run serially through
+    :func:`measure_variant` — exactly the historical code path. With
+    more, the *unmemoised* points fan out across a
+    ``ProcessPoolExecutor`` whose workers start with cleared in-process
+    memos (see :func:`clear_caches`) but share the disk cache; the
+    parent then seeds its own memo from the workers' reports, so
+    subsequent serial figure assembly reuses them byte-identically even
+    with ``REPRO_NO_CACHE=1``.
+    """
+    points = [tuple(p) for p in points]
+    jobs = resolve_jobs(jobs)
+    todo = []
+    for kernel, variant, n in dict.fromkeys(points):
+        tile = _tile_for(variant, n, config, None)
+        program, _, recipe = build_program(kernel, variant, tile=tile)
+        key = _point_key(kernel, variant, n, config, tile, program, recipe)
+        if key not in _memo:
+            todo.append((kernel, variant, n))
+    if jobs > 1 and len(todo) > 1:
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+
+        reports: dict[tuple[str, str, int], dict[str, float]] = {}
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(todo)), initializer=clear_caches
+        ) as pool:
+            futures = [
+                pool.submit(_measure_point_worker, p, config) for p in todo
+            ]
+            for fut in as_completed(futures):
+                point, data = fut.result()
+                reports[point] = data
+        for kernel, variant, n in todo:
+            tile = _tile_for(variant, n, config, None)
+            program, pipeline, recipe = build_program(kernel, variant, tile=tile)
+            key = _point_key(kernel, variant, n, config, tile, program, recipe)
+            if key not in _memo:
+                report = PerfReport(**reports[(kernel, variant, n)])
+                _memo[key] = VariantMeasurement(
+                    kernel, variant, n, tile, report, pipeline
+                )
+    return [measure_variant(k, v, n, config) for k, v, n in points]
 
 
 def run_pair(

@@ -34,6 +34,20 @@ PAPER_JACOBI_M = 500
 SCALED_JACOBI_M = 12
 
 
+def resolve_jobs(override: int | None = None) -> int:
+    """Worker-process count for sweep fan-out (``>= 1``).
+
+    *override*, else ``REPRO_JOBS``, else 1 — serial by default, so figure
+    output is produced by exactly the code path it always was. Parallel
+    runs are byte-identical anyway (workers only warm the caches; the
+    figures assemble from the same measurements), so ``REPRO_JOBS=4`` is
+    purely a wall-clock knob.
+    """
+    if override is None:
+        override = int(os.environ.get("REPRO_JOBS", "1"))
+    return max(1, int(override))
+
+
 @dataclass(frozen=True)
 class SweepConfig:
     """Everything a figure generator needs."""

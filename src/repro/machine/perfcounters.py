@@ -14,6 +14,12 @@ predictor, and aggregate cycles with the cost model — yielding every
 observable the paper's Figures 5–8 plot. The two paths are bit-identical
 (asserted by the equivalence test-suite): the streaming sinks are
 chunking-invariant and the pipeline preserves program order.
+
+Neither path cares which codegen tier produced the events: the block
+tier's whole-trip event matrices arrive through the same chunk protocol
+as the scalar tier's appends, in the same program order, so a
+``PerfReport`` is independent of ``REPRO_EXEC_MODE`` (asserted per recipe
+by the differential suite).
 """
 
 from __future__ import annotations
