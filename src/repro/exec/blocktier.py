@@ -69,6 +69,16 @@ DEFAULT_MIN_BLOCK_TRIP = 16
 #: Intrinsics with bit-identical NumPy elementwise equivalents.
 _VECTOR_CALLS = ("sqrt", "abs")
 
+#: Static reasons :func:`classify_block_loop` rejects a loop, in the
+#: order the checks run. These are the structured fallback-reason
+#: counter suffixes telemetry records (``exec.fallback.static.<reason>``).
+STATIC_FALLBACK_REASONS = (
+    "non_const_step",      # step is not a positive integer constant
+    "non_assign_body",     # body has guards / nested loops / scalar targets
+    "non_vector_value",    # value uses Select/Cmp/non-elementwise calls
+    "non_affine_subscript",  # a subscript is non-affine or non-integral
+)
+
 
 def resolve_min_block_trip(override: int | None = None) -> int:
     """The effective block-tier trip threshold (``>= 1``)."""
@@ -148,14 +158,24 @@ def _reads_in_order(expr: Expr) -> list[ArrayRef]:
 
 def analyze_block_loop(loop: Loop) -> BlockPlan | None:
     """Classify *loop* for the block tier; ``None`` means scalar only."""
+    plan, _reason = classify_block_loop(loop)
+    return plan
+
+
+def classify_block_loop(loop: Loop) -> tuple[BlockPlan | None, str | None]:
+    """Like :func:`analyze_block_loop` but names the rejection.
+
+    Returns ``(plan, None)`` for an eligible loop, else ``(None,
+    reason)`` with *reason* one of :data:`STATIC_FALLBACK_REASONS`.
+    """
     if not (isinstance(loop.step, Const) and isinstance(loop.step.value, int)
             and loop.step.value >= 1):
-        return None
+        return None, "non_const_step"
     for stmt in loop.body:
         if not isinstance(stmt, Assign) or not isinstance(stmt.target, ArrayRef):
-            return None
+            return None, "non_assign_body"
         if not _value_ok(stmt.value):
-            return None
+            return None, "non_vector_value"
 
     var = loop.var
     patterns: list[tuple[str, tuple[Expr, ...]]] = []
@@ -179,12 +199,12 @@ def analyze_block_loop(loop: Loop) -> BlockPlan | None:
         for ref in _reads_in_order(stmt.value):
             pid = pattern_id(ref)
             if pid is None:
-                return None
+                return None, "non_affine_subscript"
             ordered.append((pid, False, pos))
             accesses.append(BlockAccess(pid, False, ref.name))
         pid = pattern_id(stmt.target)
         if pid is None:
-            return None
+            return None, "non_affine_subscript"
         ordered.append((pid, True, pos))
         accesses.append(BlockAccess(pid, True, stmt.target.name))
 
@@ -217,7 +237,7 @@ def analyze_block_loop(loop: Loop) -> BlockPlan | None:
         accesses=tuple(accesses),
         write_patterns=write_patterns,
         pairs=tuple(pairs),
-    )
+    ), None
 
 
 def _pair_unsafe(

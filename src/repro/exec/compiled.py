@@ -48,11 +48,13 @@ from typing import Mapping
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import ExecutionError
 from repro.exec.blocktier import (
     BlockPlan,
     analyze_block_loop,
     block_guard,
+    classify_block_loop,
     resolve_min_block_trip,
 )
 from repro.exec.events import (
@@ -107,6 +109,35 @@ def _noop_flush() -> None:
     return None
 
 
+class TierFallbacks:
+    """Running counts of block-tier runtime fallbacks for one compiled
+    program, split by reason. The generated code calls :meth:`guard` /
+    :meth:`trip` on the (rare) fallback paths, so the counts exist
+    whether or not telemetry is recording — the measurement layer reads
+    per-run deltas and the run summary surfaces them.
+    """
+
+    __slots__ = ("guard_rejected", "below_min_trip")
+
+    def __init__(self) -> None:
+        self.guard_rejected = 0
+        self.below_min_trip = 0
+
+    def guard(self) -> None:
+        """One loop entry rejected by the runtime dependence guard."""
+        self.guard_rejected += 1
+
+    def trip(self) -> None:
+        """One non-empty loop entry below the block-tier trip floor."""
+        self.below_min_trip += 1
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "guard_rejected": self.guard_rejected,
+            "below_min_trip": self.below_min_trip,
+        }
+
+
 def _fp_errstate():
     """Error state under which block-tier float math runs: raise where the
     scalar tier would raise (division by zero, invalid sqrt)."""
@@ -158,6 +189,9 @@ class _Codegen:
             for s in walk_stmts(program.body)
         )
         self.block_loops = 0
+        #: (loop var, tier, static fallback reason | None) per *innermost*
+        #: loop, in emission order — the per-loop telemetry evidence.
+        self.loop_tiers: list[tuple[str, str, str | None]] = []
         self.array_ids = {a.name: i for i, a in enumerate(program.arrays)}
         self.ranks = {a.name: a.rank for a in program.arrays}
         self.branch_sites: dict[int, str] = {}
@@ -374,7 +408,12 @@ class _Codegen:
         step = self._expr(stmt.step, head, indent, costs, in_subscript=True)
         self.lines.extend(head)
         costs.emit(self.lines, indent)
-        plan = analyze_block_loop(stmt) if self.block_tier else None
+        plan, reason = (
+            classify_block_loop(stmt) if self.block_tier else (None, "exec_mode")
+        )
+        if not any(isinstance(s, Loop) for s in walk_stmts(stmt.body)):
+            tier = "scalar" if plan is None else "block"
+            self.loop_tiers.append((stmt.var, tier, reason))
         if plan is None:
             self._emit_scalar_loop(stmt, indent, lo, hi, step)
         else:
@@ -490,8 +529,10 @@ class _Codegen:
             f"{ind2}{ok} = _bg(({', '.join(ab_parts)},), "
             f"{plan.write_patterns!r}, {plan.pairs!r}, {trip})"
         )
+        self.lines.append(f"{ind2}if not {ok}: _fbg()")
         self.lines.append(f"{indent}else:")
         self.lines.append(f"{indent}    {ok} = False")
+        self.lines.append(f"{indent}    if {trip} > 0: _fbt()")
 
         self.lines.append(f"{indent}if {ok}:")
         iv = self.fresh("iv")
@@ -602,24 +643,56 @@ class CompiledProgram:
         self.trace = trace
         self.exec_mode = resolve_exec_mode(exec_mode)
         self.min_block_trip = resolve_min_block_trip(min_block_trip)
-        gen = _Codegen(program, trace, block_tier=self.exec_mode == "block")
-        self.source = gen.generate()
-        self.array_ids = gen.array_ids
-        self.branch_sites = gen.branch_sites
-        #: Number of innermost loops compiled with a block (vector) path.
-        self.block_loops = gen.block_loops
-        self._ndarray_storage = gen.ndarray_storage
-        namespace: dict = {
-            "_math": math,
-            "_np": np,
-            "_npsqrt": np.sqrt,
-            "_npabs": np.abs,
-            "_bg": block_guard,
-            "_mbt": self.min_block_trip,
-            "_fpe": _fp_errstate,
-        }
-        exec(compile(self.source, f"<repro:{program.name}>", "exec"), namespace)
-        self._fn = namespace["_kernel"]
+        #: Runtime fallback counts (guard-rejected / below-min-trip loop
+        #: entries), accumulated across every run of this instance.
+        self.fallbacks = TierFallbacks()
+        with telemetry.span(
+            "exec.compile", program=program.name, mode=self.exec_mode
+        ) as csp:
+            gen = _Codegen(program, trace, block_tier=self.exec_mode == "block")
+            self.source = gen.generate()
+            self.array_ids = gen.array_ids
+            self.branch_sites = gen.branch_sites
+            #: Number of innermost loops compiled with a block (vector) path.
+            self.block_loops = gen.block_loops
+            #: (loop var, tier, static reason | None) per innermost loop.
+            self.loop_tiers = tuple(gen.loop_tiers)
+            self._ndarray_storage = gen.ndarray_storage
+            namespace: dict = {
+                "_math": math,
+                "_np": np,
+                "_npsqrt": np.sqrt,
+                "_npabs": np.abs,
+                "_bg": block_guard,
+                "_mbt": self.min_block_trip,
+                "_fpe": _fp_errstate,
+                "_fbg": self.fallbacks.guard,
+                "_fbt": self.fallbacks.trip,
+            }
+            exec(compile(self.source, f"<repro:{program.name}>", "exec"), namespace)
+            self._fn = namespace["_kernel"]
+            if telemetry.enabled():
+                csp.set(block_loops=self.block_loops)
+                for var, tier, reason in self.loop_tiers:
+                    attrs = {"var": var, "tier": tier}
+                    if reason is not None:
+                        attrs["reason"] = reason
+                    telemetry.record_span(
+                        "exec.loop", telemetry.perf_counter(), 0.0, **attrs
+                    )
+                    telemetry.counter(f"exec.loops.{tier}")
+                    if tier == "scalar" and reason not in (None, "exec_mode"):
+                        telemetry.counter(f"exec.fallback.static.{reason}")
+
+    @property
+    def static_fallbacks(self) -> dict[str, int]:
+        """Innermost loops rejected from the block tier at compile time,
+        keyed by :data:`~repro.exec.blocktier.STATIC_FALLBACK_REASONS`."""
+        counts: dict[str, int] = {}
+        for _var, tier, reason in self.loop_tiers:
+            if tier == "scalar" and reason not in (None, "exec_mode"):
+                counts[reason] = counts.get(reason, 0) + 1
+        return counts
 
     def _prepare(
         self,
@@ -672,14 +745,27 @@ class CompiledProgram:
         emit_vec,
     ) -> tuple[Counters, dict[str, float]]:
         """Call the generated kernel and package counters."""
-        try:
-            (loads, stores, flops, intops, branches, iters, scalars) = self._fn(
-                dict(params), storage, exts, mem, bra, cap, flush, emit_vec
-            )
-        except (IndexError, ZeroDivisionError, KeyError, FloatingPointError) as exc:
-            raise ExecutionError(
-                f"runtime failure in {self.program.name}: {exc}"
-            ) from exc
+        fb = self.fallbacks
+        guard0, trip0 = fb.guard_rejected, fb.below_min_trip
+        with telemetry.span(
+            "exec.run", program=self.program.name, mode=self.exec_mode
+        ) as sp:
+            try:
+                (loads, stores, flops, intops, branches, iters, scalars) = self._fn(
+                    dict(params), storage, exts, mem, bra, cap, flush, emit_vec
+                )
+            except (IndexError, ZeroDivisionError, KeyError, FloatingPointError) as exc:
+                raise ExecutionError(
+                    f"runtime failure in {self.program.name}: {exc}"
+                ) from exc
+        if telemetry.enabled():
+            dg = fb.guard_rejected - guard0
+            dt = fb.below_min_trip - trip0
+            if dg:
+                telemetry.counter("exec.fallback.guard_rejected", dg)
+            if dt:
+                telemetry.counter("exec.fallback.below_min_trip", dt)
+            sp.set(guard_rejected=dg, below_min_trip=dt)
         scalars = {
             k: (v.item() if isinstance(v, np.generic) else v)
             for k, v in scalars.items()

@@ -1,14 +1,19 @@
 """Command-line entry point: ``python -m repro.experiments <target>``.
 
 Targets: figure5, figure6, figure7, figure8, table1, jacobi, ablations,
-all. Flags: ``--quick`` (4-point sweep), ``--full`` (7-point scaled sweep).
+telemetry_report, all. Flags: ``--quick`` (4-point sweep), ``--full``
+(7-point scaled sweep), ``--telemetry DIR`` (write span/metric run
+artefacts; ``REPRO_TELEMETRY`` does the same), ``--diff BASE NEW``
+(directories for ``telemetry_report``).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
+from repro import telemetry
 from repro.experiments import figure5, figure678, jacobi_stats, table1
 from repro.experiments.sweep import default_config
 
@@ -19,7 +24,8 @@ def main(argv: list[str] | None = None) -> int:
         "target",
         choices=[
             "figure5", "figure6", "figure7", "figure8", "table1", "jacobi",
-            "ablations", "paperpoint", "crossover", "pipeline", "all",
+            "ablations", "paperpoint", "crossover", "pipeline",
+            "telemetry_report", "all",
         ],
     )
     mode = parser.add_mutually_exclusive_group()
@@ -28,10 +34,36 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--output", metavar="DIR", help="also write markdown + CSV artefacts"
     )
+    parser.add_argument(
+        "--telemetry",
+        metavar="DIR",
+        help="record spans/metrics and write trace.jsonl, metrics.json, "
+        "summary.txt, trace_chrome.json to DIR (REPRO_TELEMETRY=DIR "
+        "is equivalent)",
+    )
+    parser.add_argument(
+        "--diff",
+        nargs=2,
+        metavar=("BASELINE", "CURRENT"),
+        help="two --telemetry run directories to compare "
+        "(required by the telemetry_report target)",
+    )
     args = parser.parse_args(argv)
+
+    telemetry_dir = args.telemetry or os.environ.get("REPRO_TELEMETRY")
+    if telemetry_dir:
+        telemetry.enable()
 
     quick = True if args.quick else (False if args.full else None)
     config = default_config(quick=quick)
+
+    if args.target == "telemetry_report":
+        if not args.diff:
+            parser.error("telemetry_report needs --diff BASELINE CURRENT")
+        from repro.experiments import telemetry_report
+
+        print(telemetry_report.main(args.diff[0], args.diff[1]))
+        return 0
 
     if args.output:
         from repro.experiments.report import write_all
@@ -77,6 +109,9 @@ def main(argv: list[str] | None = None) -> int:
 
         outputs.append(pipeline_report.main(config))
     print("\n\n".join(outputs))
+    if telemetry_dir:
+        for name, path in sorted(telemetry.write_run(telemetry_dir).items()):
+            print(f"telemetry {name}: {path}")
     return 0
 
 

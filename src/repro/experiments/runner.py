@@ -29,12 +29,14 @@ memoised — parallel runs are byte-identical to serial ones.
 from __future__ import annotations
 
 import json
+import logging
 import os
 from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
+from repro import telemetry
 from repro.exec.compiled import (
     CompiledProgram,
     resolve_exec_mode,
@@ -64,6 +66,8 @@ class VariantMeasurement:
     #: since the fingerprint requires building the program).
     pipeline: PipelineReport | None = None
 
+
+_log = logging.getLogger("repro.sweep")
 
 _memo: LRUCache = LRUCache(maxsize=4096)
 _built: LRUCache = LRUCache(maxsize=256)
@@ -100,9 +104,16 @@ def _load_cached(key: str) -> PerfReport | None:
     try:
         data = json.loads(path.read_text())
         return PerfReport(**data)
-    except (OSError, json.JSONDecodeError, TypeError):
+    except (OSError, json.JSONDecodeError, TypeError) as exc:
         # Unreadable or malformed entries mean "not cached": recompute
-        # and overwrite rather than fail the sweep.
+        # and overwrite rather than fail the sweep — but never silently.
+        # A corrupt entry is tolerated once here and detectable forever:
+        # counted, logged, and surfaced in the telemetry summary.
+        telemetry.counter("sweep.cache.corrupt")
+        _log.warning(
+            "sweep cache: discarding unreadable entry %s (%s: %s)",
+            path, type(exc).__name__, exc,
+        )
         return None
 
 
@@ -214,50 +225,71 @@ def measure_variant(
     params = _params_for(kernel, n, config)
     key = _point_key(kernel, variant, n, config, tile, program, recipe)
     if key in _memo:
+        telemetry.counter("sweep.memo.hit")
         return _memo[key]
 
-    cached = _load_cached(key)
-    if cached is not None:
-        result = VariantMeasurement(kernel, variant, n, tile, cached, pipeline)
+    # One span per *measured* grid point: memo hits above never reach
+    # here, so a sweep's `sweep.point` span count equals the number of
+    # points that actually went to disk or to the machine model.
+    with telemetry.span(
+        "sweep.point", kernel=kernel, variant=variant, n=n
+    ) as sp:
+        cached = _load_cached(key)
+        if cached is not None:
+            telemetry.counter("sweep.cache.hit")
+            sp.set(source="disk")
+            result = VariantMeasurement(kernel, variant, n, tile, cached, pipeline)
+            _memo[key] = result
+            return result
+        telemetry.counter("sweep.cache.miss")
+
+        mod = get_kernel(kernel)
+        rng = np.random.default_rng(config.seed)
+        inputs = mod.make_inputs(params, rng)
+
+        def compile_program():
+            return CompiledProgram(program, trace=True)
+
+        # The engine memo must key on the effective tier configuration:
+        # flipping REPRO_EXEC_MODE / REPRO_BLOCK_MIN_TRIP mid-process must
+        # not resurrect an engine compiled for the other tier.
+        cp = _compiled.get_or_compute(
+            (kernel, variant, tile, resolve_exec_mode(), resolve_min_block_trip()),
+            compile_program,
+        )
+        if _trace_mode(trace_mode) == "stream":
+            _, report = measure_streaming(cp, params, config.machine, inputs)
+        else:
+            run = cp.run(params, inputs)
+            report = measure(run, cp.program, params, config.machine)
+        _store_cached(key, report)
+        sp.set(source="computed")
+        result = VariantMeasurement(kernel, variant, n, tile, report, pipeline)
         _memo[key] = result
         return result
 
-    mod = get_kernel(kernel)
-    rng = np.random.default_rng(config.seed)
-    inputs = mod.make_inputs(params, rng)
-
-    def compile_program():
-        return CompiledProgram(program, trace=True)
-
-    # The engine memo must key on the effective tier configuration:
-    # flipping REPRO_EXEC_MODE / REPRO_BLOCK_MIN_TRIP mid-process must
-    # not resurrect an engine compiled for the other tier.
-    cp = _compiled.get_or_compute(
-        (kernel, variant, tile, resolve_exec_mode(), resolve_min_block_trip()),
-        compile_program,
-    )
-    if _trace_mode(trace_mode) == "stream":
-        _, report = measure_streaming(cp, params, config.machine, inputs)
-    else:
-        run = cp.run(params, inputs)
-        report = measure(run, cp.program, params, config.machine)
-    _store_cached(key, report)
-    result = VariantMeasurement(kernel, variant, n, tile, report, pipeline)
-    _memo[key] = result
-    return result
-
 
 def _measure_point_worker(
-    point: tuple[str, str, int], config: SweepConfig
-) -> tuple[tuple[str, str, int], dict[str, float]]:
-    """Sweep-pool body: measure one point, return its report as a dict.
+    point: tuple[str, str, int],
+    config: SweepConfig,
+    with_telemetry: bool = False,
+) -> tuple[tuple[str, str, int], dict[str, float], dict | None]:
+    """Sweep-pool body: measure one point, return its report as a dict
+    plus (when the parent is recording) the worker's serialized telemetry.
 
     Runs in a worker whose in-process memos were cleared by the pool
     initializer; the measurement also lands in the shared disk cache (if
-    enabled) via the atomic writer.
+    enabled) via the atomic writer. Telemetry is reset *per point* so a
+    forking pool never re-exports inherited parent spans — the parent
+    absorbs exactly one point's evidence per returned state.
     """
+    if with_telemetry:
+        telemetry.reset()
+        telemetry.enable()
     kernel, variant, n = point
-    return point, measure_variant(kernel, variant, n, config).report.as_dict()
+    report = measure_variant(kernel, variant, n, config).report.as_dict()
+    state = telemetry.export_state() if with_telemetry else None
+    return point, report, state
 
 
 def measure_points(
@@ -291,16 +323,21 @@ def measure_points(
     if jobs > 1 and len(todo) > 1:
         from concurrent.futures import ProcessPoolExecutor, as_completed
 
+        with_telemetry = telemetry.enabled()
         reports: dict[tuple[str, str, int], dict[str, float]] = {}
         with ProcessPoolExecutor(
             max_workers=min(jobs, len(todo)), initializer=clear_caches
         ) as pool:
             futures = [
-                pool.submit(_measure_point_worker, p, config) for p in todo
+                pool.submit(_measure_point_worker, p, config, with_telemetry)
+                for p in todo
             ]
             for fut in as_completed(futures):
-                point, data = fut.result()
+                point, data, state = fut.result()
                 reports[point] = data
+                # Fold each worker's spans/metrics into the parent so a
+                # parallel sweep yields one coherent trace.
+                telemetry.absorb(state)
         for kernel, variant, n in todo:
             tile = _tile_for(variant, n, config, None)
             program, pipeline, recipe = build_program(kernel, variant, tile=tile)

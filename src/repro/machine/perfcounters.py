@@ -29,6 +29,7 @@ from typing import Mapping
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import MachineError
 from repro.exec.events import Counters, RunResult, decode_memory_events
 from repro.ir.program import Program
@@ -154,20 +155,23 @@ def measure(
     """Replay a materialized traced run on *machine* (debugging path)."""
     if result.trace is None:
         raise MachineError("measure() needs a traced run (trace=True)")
-    layout = layout_for_run(result, program, params)
-    aid, lin, rw = result.trace.memory_events()
-    id_to_name = {v: k for k, v in result.array_ids.items()}
-    addresses = layout.addresses(aid, lin, id_to_name)
-    regs = filter_loads(addresses, rw, machine.registers)
-    memory_stream = addresses[regs.to_memory]
-    hier = simulate_hierarchy(machine.l1, machine.l2, memory_stream)
+    with telemetry.span(
+        "machine.measure", program=program.name, machine=machine.name
+    ):
+        layout = layout_for_run(result, program, params)
+        aid, lin, rw = result.trace.memory_events()
+        id_to_name = {v: k for k, v in result.array_ids.items()}
+        addresses = layout.addresses(aid, lin, id_to_name)
+        regs = filter_loads(addresses, rw, machine.registers)
+        memory_stream = addresses[regs.to_memory]
+        hier = simulate_hierarchy(machine.l1, machine.l2, memory_stream)
 
-    sid, taken = result.trace.branch_events()
-    predictor = predictor or TwoBitPredictor()
-    branch = predictor.simulate(sid, taken)
-    return _assemble_report(
-        program, machine, result.counters, regs.load_hits, hier, branch
-    )
+        sid, taken = result.trace.branch_events()
+        predictor = predictor or TwoBitPredictor()
+        branch = predictor.simulate(sid, taken)
+        return _assemble_report(
+            program, machine, result.counters, regs.load_hits, hier, branch
+        )
 
 
 def measure_streaming(
@@ -187,17 +191,28 @@ def measure_streaming(
     bounded by the chunk size regardless of the run's event count.
     """
     program = compiled.program
-    layout = layout_for_program(program, params)
-    id_to_name = {v: k for k, v in compiled.array_ids.items()}
-    memory_sink = MemoryPipelineSink(machine, layout, id_to_name)
-    branch_sink = sink_for_predictor(predictor or TwoBitPredictor())
-    kwargs = {} if chunk_events is None else {"chunk_events": chunk_events}
-    result = compiled.run_streaming(
-        params, inputs, memory_sink=memory_sink, branch_sink=branch_sink, **kwargs
-    )
-    load_hits, hier = memory_sink.finish()
-    branch = branch_sink.finish()
-    report = _assemble_report(
-        program, machine, result.counters, load_hits, hier, branch
-    )
-    return result, report
+    with telemetry.span(
+        "machine.measure_streaming", program=program.name, machine=machine.name
+    ):
+        layout = layout_for_program(program, params)
+        id_to_name = {v: k for k, v in compiled.array_ids.items()}
+        memory_sink = MemoryPipelineSink(machine, layout, id_to_name)
+        branch_sink = sink_for_predictor(predictor or TwoBitPredictor())
+        if telemetry.enabled():
+            # Per-sink replay spans + chunk/event counters; the wrappers
+            # preserve feed/finish semantics bit-exactly, so reports are
+            # identical with telemetry on or off.
+            from repro.telemetry.instrument import InstrumentedSink
+
+            memory_sink = InstrumentedSink(memory_sink, "memory")
+            branch_sink = InstrumentedSink(branch_sink, "branch")
+        kwargs = {} if chunk_events is None else {"chunk_events": chunk_events}
+        result = compiled.run_streaming(
+            params, inputs, memory_sink=memory_sink, branch_sink=branch_sink, **kwargs
+        )
+        load_hits, hier = memory_sink.finish()
+        branch = branch_sink.finish()
+        report = _assemble_report(
+            program, machine, result.counters, load_hits, hier, branch
+        )
+        return result, report

@@ -22,12 +22,12 @@ own boundary with a :class:`~repro.errors.ValidationError`.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import ExecutionError, TransformError, ValidationError
 from repro.ir.program import Program
 from repro.ir.stmt import If, Loop, Stmt
@@ -273,46 +273,65 @@ class PassManager:
         value: Program | FusedNest | None = None
         baseline: Program | None = None
         trusted = True
-        for p in recipe.passes:
-            before = ir_stats(value) if value is not None else IRStats(0, 0, 0, 0)
-            start = time.perf_counter()
-            value = p.apply(value, ctx)
-            seconds = time.perf_counter() - start
-            after = ir_stats(value)
-            if p.semantics == BREAK:
-                trusted = False
-            elif p.semantics == RESTORE:
-                trusted = True
-            verified, note = False, ""
-            if self.verify:
-                verified, note = self._verify_boundary(
-                    value, baseline, trusted, ctx
-                )
-            if baseline is None and isinstance(value, Program):
-                baseline = value
-            snapshot = None
-            if self.snapshots:
-                from repro.ir.printer import pretty
+        with telemetry.span("pipeline.recipe", recipe=recipe.name):
+            for p in recipe.passes:
+                before = ir_stats(value) if value is not None else IRStats(0, 0, 0, 0)
+                # The span doubles as the pass stopwatch: its duration is
+                # the PassRecord's wall time whether telemetry records or
+                # not (the disabled span still measures).
+                with telemetry.span(
+                    "pipeline.pass", **{"recipe": recipe.name, "pass": p.name}
+                ) as psp:
+                    value = p.apply(value, ctx)
+                seconds = psp.duration
+                after = ir_stats(value)
+                if p.semantics == BREAK:
+                    trusted = False
+                elif p.semantics == RESTORE:
+                    trusted = True
+                verified, note = False, ""
+                if self.verify:
+                    with telemetry.span(
+                        "pipeline.verify", **{"pass": p.name, "trusted": trusted}
+                    ):
+                        verified, note = self._verify_boundary(
+                            value, baseline, trusted, ctx
+                        )
+                if baseline is None and isinstance(value, Program):
+                    baseline = value
+                snapshot = None
+                if self.snapshots:
+                    from repro.ir.printer import pretty
 
-                current = (
-                    value.to_program() if isinstance(value, FusedNest) else value
-                )
-                snapshot = pretty(current)
-            detail_fn = getattr(p, "detail", None)
-            detail = detail_fn() if callable(detail_fn) else ""
-            if note:
-                detail = f"{detail}; {note}" if detail else note
-            report.records.append(
-                PassRecord(
-                    name=p.name,
-                    seconds=seconds,
-                    before=before,
-                    after=after,
-                    detail=detail,
+                    current = (
+                        value.to_program() if isinstance(value, FusedNest) else value
+                    )
+                    snapshot = pretty(current)
+                detail_fn = getattr(p, "detail", None)
+                detail = detail_fn() if callable(detail_fn) else ""
+                if note:
+                    detail = f"{detail}; {note}" if detail else note
+                # IR-stat deltas ride on the pass span (attrs may be set
+                # after exit; the recorded span shares the dict).
+                psp.set(
+                    stmts_before=before.statements,
+                    stmts_after=after.statements,
+                    loops_after=after.loops,
+                    guards_after=after.guards,
+                    depth_after=after.depth,
                     verified=verified,
-                    snapshot=snapshot,
                 )
-            )
+                report.records.append(
+                    PassRecord(
+                        name=p.name,
+                        seconds=seconds,
+                        before=before,
+                        after=after,
+                        detail=detail,
+                        verified=verified,
+                        snapshot=snapshot,
+                    )
+                )
         if value is None:
             raise TransformError(f"recipe {recipe.name} has no passes")
         return value, report

@@ -1,0 +1,233 @@
+"""Unified telemetry: span tracing, metrics, exporters — off by default.
+
+One module-level facade instruments every layer of the reproduction
+(pipeline, executor, machine model, sweep) without any of them knowing
+about exporters or each other::
+
+    from repro import telemetry
+
+    with telemetry.span("sweep.point", kernel="jacobi", n=120) as sp:
+        ...
+        sp.set(source="computed")
+    telemetry.counter("sweep.cache.miss")
+
+**Disabled is free(ish):** with telemetry off (the default),
+:func:`span` returns a stack-allocated timer that records nothing, and
+:func:`counter` / :func:`gauge` / :func:`observe` return immediately.
+Instrumented code paths therefore stay bit-identical and within noise of
+their un-instrumented cost (the overhead benchmark in
+``benchmarks/bench_machine.py`` bounds the *enabled* cost at <3% of
+producer throughput).
+
+**Enabling:** set ``REPRO_TELEMETRY=<dir>`` (the CLI's ``--telemetry``
+flag does the same) or call :func:`enable` programmatically (tests use
+the in-memory collector this way). :func:`write_run` exports one run's
+evidence as ``trace.jsonl`` + ``metrics.json`` + ``summary.txt`` +
+``trace_chrome.json``.
+
+**Cross-process merge:** sweep workers call :func:`export_state` and the
+parent :func:`absorb`\\ s it, so a parallel sweep yields one coherent
+trace (spans keep their origin pid; metric snapshots merge
+associatively).
+
+Every finished span also feeds a duration histogram named
+``span.<span name>`` in the metrics registry, which is what the
+``telemetry_report`` experiment target diffs for per-layer time.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.telemetry.metrics import MetricsRegistry, merge_snapshots  # noqa: F401
+from repro.telemetry.spans import (
+    ActiveSpan,
+    DisabledSpan,
+    Span,
+    SpanCollector,
+)
+
+__all__ = [
+    "enabled",
+    "enable",
+    "disable",
+    "reset",
+    "span",
+    "record_span",
+    "counter",
+    "gauge",
+    "observe",
+    "counter_value",
+    "snapshot",
+    "spans",
+    "export_state",
+    "absorb",
+    "write_run",
+    "telemetry_dir",
+    "perf_counter",
+    "Span",
+    "SpanCollector",
+    "MetricsRegistry",
+    "merge_snapshots",
+]
+
+perf_counter = time.perf_counter  # the one clock every span uses
+
+_registry = MetricsRegistry()
+
+
+def _on_span_finish(name: str, duration: float) -> None:
+    _registry.observe(f"span.{name}", duration)
+
+
+_collector = SpanCollector(on_finish=_on_span_finish)
+
+#: Enabled at import when ``REPRO_TELEMETRY`` names an output directory,
+#: so plain library use (no CLI) is instrumentable from the environment.
+_enabled = bool(os.environ.get("REPRO_TELEMETRY"))
+
+
+def telemetry_dir() -> Path | None:
+    """The ``REPRO_TELEMETRY`` output directory, if set."""
+    d = os.environ.get("REPRO_TELEMETRY")
+    return Path(d) if d else None
+
+
+def enabled() -> bool:
+    """Is telemetry recording? Hot paths gate their work on this."""
+    return _enabled
+
+
+def enable() -> None:
+    """Start recording into the in-process collector/registry."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    global _enabled
+    _enabled = False
+
+
+def reset() -> None:
+    """Drop all recorded spans and metrics (enabled state unchanged).
+
+    Sweep workers call this before measuring so that, under a forking
+    ``ProcessPoolExecutor``, inherited parent telemetry is not
+    re-exported as the worker's own.
+    """
+    global _collector, _registry
+    _registry = MetricsRegistry()
+    _collector = SpanCollector(on_finish=_on_span_finish)
+
+
+# -- spans ----------------------------------------------------------------
+
+
+def span(name: str, **attrs: Any) -> ActiveSpan | DisabledSpan:
+    """A timed region context manager (records only when enabled).
+
+    The returned object always exposes ``duration`` (seconds) after exit
+    and ``set(**attrs)``, so callers can use it as their stopwatch
+    without branching on the telemetry state.
+    """
+    if not _enabled:
+        return DisabledSpan()
+    return _collector.span(name, attrs)
+
+
+def record_span(name: str, start: float, duration: float, **attrs: Any) -> None:
+    """Record a pre-timed span (for piecewise-accumulated work)."""
+    if _enabled:
+        _collector.record(name, start, duration, attrs)
+
+
+def spans() -> list[Span]:
+    """All finished spans recorded (or absorbed) by this process."""
+    return _collector.finished()
+
+
+# -- metrics --------------------------------------------------------------
+
+
+def counter(name: str, n: float = 1) -> None:
+    if _enabled:
+        _registry.counter_add(name, n)
+
+
+def gauge(name: str, value: float) -> None:
+    if _enabled:
+        _registry.gauge_set(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    if _enabled:
+        _registry.observe(name, value)
+
+
+def counter_value(name: str) -> float:
+    """Current counter value (0 when absent) — test/report convenience."""
+    return _registry.counter_value(name)
+
+
+def snapshot() -> dict[str, Any]:
+    """JSON-able metrics snapshot."""
+    return _registry.snapshot()
+
+
+# -- cross-process merge --------------------------------------------------
+
+
+def export_state() -> dict[str, Any]:
+    """Everything this process recorded, as one JSON-able object."""
+    return {
+        "spans": [s.as_dict() for s in _collector.finished()],
+        "metrics": _registry.snapshot(),
+    }
+
+
+def absorb(state: dict[str, Any] | None) -> None:
+    """Merge a worker's :func:`export_state` into this process."""
+    if not state:
+        return
+    _collector.absorb([Span.from_dict(d) for d in state.get("spans", [])])
+    _registry.merge_snapshot(state.get("metrics", {}))
+
+
+# -- run artifacts --------------------------------------------------------
+
+
+def write_run(directory: str | Path) -> dict[str, Path]:
+    """Export the run's telemetry into *directory*.
+
+    Writes ``trace.jsonl`` (raw spans), ``metrics.json`` (snapshot),
+    ``summary.txt`` (human-readable tree + counters) and
+    ``trace_chrome.json`` (flamegraph; load in ``chrome://tracing`` or
+    Perfetto). Returns ``{artifact name: path}``.
+    """
+    import json
+
+    from repro.telemetry.export import (
+        render_summary,
+        write_chrome_trace,
+        write_jsonl,
+    )
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    all_spans = _collector.finished()
+    metrics = _registry.snapshot()
+    written = {
+        "trace.jsonl": write_jsonl(all_spans, directory / "trace.jsonl"),
+        "trace_chrome.json": write_chrome_trace(
+            all_spans, directory / "trace_chrome.json"
+        ),
+    }
+    (directory / "metrics.json").write_text(json.dumps(metrics, indent=1))
+    written["metrics.json"] = directory / "metrics.json"
+    (directory / "summary.txt").write_text(render_summary(all_spans, metrics))
+    written["summary.txt"] = directory / "summary.txt"
+    return written

@@ -1,0 +1,65 @@
+"""Generic instrumentation adapters over the trace-sink protocol.
+
+:class:`InstrumentedSink` wraps any
+:class:`~repro.machine.sinks.TraceSink`, accumulating per-``feed`` wall
+time and chunk/event counts, and emits — at ``finish()`` — one
+synthesized replay span (``machine.sink.<name>``) plus
+``machine.sink.<name>.chunks`` / ``.events`` counters. It is only ever
+constructed when telemetry is enabled, so the disabled path pays
+nothing; the per-chunk cost when enabled is two integer adds and one
+clock read per ~64k events.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro import telemetry
+
+__all__ = ["InstrumentedSink"]
+
+
+def _chunk_events(chunk: Any) -> int:
+    """Event count of one chunk; access chunks are (addresses, mask) pairs."""
+    if isinstance(chunk, tuple):
+        chunk = chunk[0]
+    try:
+        return len(chunk)
+    except TypeError:
+        return 1
+
+
+class InstrumentedSink:
+    """Counting/timing proxy for a trace sink (telemetry-enabled path)."""
+
+    def __init__(self, inner: Any, name: str):
+        self._inner = inner
+        self._name = name
+        self._chunks = 0
+        self._events = 0
+        self._seconds = 0.0
+        self._first_start: float | None = None
+
+    def feed(self, chunk: Any) -> Any:
+        t0 = time.perf_counter()
+        if self._first_start is None:
+            self._first_start = t0
+        out = self._inner.feed(chunk)
+        self._seconds += time.perf_counter() - t0
+        self._chunks += 1
+        self._events += _chunk_events(chunk)
+        return out
+
+    def finish(self) -> Any:
+        result = self._inner.finish()
+        telemetry.record_span(
+            f"machine.sink.{self._name}",
+            start=self._first_start if self._first_start is not None else time.perf_counter(),
+            duration=self._seconds,
+            chunks=self._chunks,
+            events=self._events,
+        )
+        telemetry.counter(f"machine.sink.{self._name}.chunks", self._chunks)
+        telemetry.counter(f"machine.sink.{self._name}.events", self._events)
+        return result

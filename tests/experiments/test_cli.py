@@ -58,3 +58,45 @@ class TestCLI:
             text=True,
         )
         assert out.returncode != 0
+
+
+class TestTelemetryCLI:
+    def test_telemetry_flag_writes_artifacts(self, tmp_path):
+        run_dir = tmp_path / "run"
+        text = run_cli("table1", "--telemetry", str(run_dir))
+        for artifact in (
+            "trace.jsonl", "metrics.json", "summary.txt", "trace_chrome.json"
+        ):
+            assert (run_dir / artifact).exists(), artifact
+            assert f"telemetry {artifact}" in text
+        summary = (run_dir / "summary.txt").read_text()
+        assert "== span tree ==" in summary
+        assert "== block-tier fallbacks ==" in summary
+
+    def test_env_var_equivalent(self, tmp_path):
+        run_dir = tmp_path / "envrun"
+        run_cli("table1", env_extra={"REPRO_TELEMETRY": str(run_dir)})
+        assert (run_dir / "trace.jsonl").exists()
+
+    def test_stdout_identical_with_and_without_telemetry(self, tmp_path):
+        plain = run_cli("table1")
+        traced = run_cli("table1", "--telemetry", str(tmp_path / "t"))
+        assert traced.startswith(plain)  # report text unchanged; paths appended
+
+    def test_telemetry_report_diff(self, tmp_path):
+        run_cli("table1", "--telemetry", str(tmp_path / "a"))
+        run_cli("table1", "--telemetry", str(tmp_path / "b"))
+        text = run_cli(
+            "telemetry_report", "--diff", str(tmp_path / "a"), str(tmp_path / "b")
+        )
+        assert "Telemetry diff" in text
+        assert "Time per layer" in text
+
+    def test_telemetry_report_requires_diff(self):
+        out = subprocess.run(
+            [sys.executable, "-m", "repro.experiments", "telemetry_report"],
+            capture_output=True,
+            text=True,
+        )
+        assert out.returncode != 0
+        assert "--diff" in out.stderr

@@ -1,0 +1,135 @@
+"""Span mechanics: nesting, balance under exceptions, thread/process tags."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry.spans import DisabledSpan, SpanCollector
+
+
+def _by_name(name):
+    return [s for s in telemetry.spans() if s.name == name]
+
+
+class TestNesting:
+    def test_parent_links(self):
+        telemetry.enable()
+        with telemetry.span("outer"):
+            with telemetry.span("inner"):
+                pass
+        [outer] = _by_name("outer")
+        [inner] = _by_name("inner")
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert inner.pid == outer.pid
+
+    def test_siblings_share_parent(self):
+        telemetry.enable()
+        with telemetry.span("outer"):
+            with telemetry.span("a"):
+                pass
+            with telemetry.span("b"):
+                pass
+        [outer] = _by_name("outer")
+        [a], [b] = _by_name("a"), _by_name("b")
+        assert a.parent_id == b.parent_id == outer.span_id
+        assert a.span_id != b.span_id
+
+    def test_record_span_parents_to_open_span(self):
+        telemetry.enable()
+        with telemetry.span("outer"):
+            telemetry.record_span("pre.timed", 1.0, 0.5, chunks=3)
+        [outer] = _by_name("outer")
+        [pre] = _by_name("pre.timed")
+        assert pre.parent_id == outer.span_id
+        assert pre.duration == 0.5
+        assert pre.attrs == {"chunks": 3}
+
+
+class TestExceptionBalance:
+    def test_stack_balances_and_error_is_recorded(self):
+        collector = SpanCollector()
+        with pytest.raises(ValueError, match="boom"):
+            with collector.span("outer"):
+                with collector.span("inner"):
+                    raise ValueError("boom")
+        assert collector.open_depth() == 0
+        inner, outer = collector.finished()
+        assert (inner.name, outer.name) == ("inner", "outer")
+        assert inner.error == "ValueError: boom"
+        assert outer.error == "ValueError: boom"
+
+    def test_leaked_inner_span_does_not_wedge_the_stack(self):
+        collector = SpanCollector()
+        outer = collector.span("outer")
+        outer.__enter__()
+        collector.span("leaked").__enter__()  # never exited
+        outer.__exit__(None, None, None)
+        assert collector.open_depth() == 0
+        assert [s.name for s in collector.finished()] == ["outer"]
+
+    def test_facade_exception_still_propagates(self):
+        telemetry.enable()
+        with pytest.raises(RuntimeError):
+            with telemetry.span("explodes"):
+                raise RuntimeError("no")
+        assert _by_name("explodes")[0].error == "RuntimeError: no"
+
+
+class TestDisabled:
+    def test_disabled_span_still_times(self):
+        with telemetry.span("never.recorded") as sp:
+            sum(range(1000))
+        assert isinstance(sp, DisabledSpan)
+        assert sp.duration > 0
+        sp.set(ignored=True)  # must be a no-op, not an error
+        assert telemetry.spans() == []
+
+    def test_counters_disabled_are_free(self):
+        telemetry.counter("nope")
+        telemetry.gauge("nope.g", 3)
+        telemetry.observe("nope.h", 1.0)
+        snap = telemetry.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestAttrs:
+    def test_set_after_exit_lands_on_recorded_span(self):
+        telemetry.enable()
+        with telemetry.span("pass", pass_name="Fuse") as sp:
+            pass
+        sp.set(stmts_after=7)
+        [span] = telemetry.spans()
+        assert span.attrs == {"pass_name": "Fuse", "stmts_after": 7}
+
+    def test_span_feeds_duration_histogram(self):
+        telemetry.enable()
+        with telemetry.span("x.y"):
+            pass
+        hist = telemetry.snapshot()["histograms"]["span.x.y"]
+        assert hist["count"] == 1
+        assert hist["total"] >= 0
+
+
+class TestThreads:
+    def test_threads_get_independent_stacks(self):
+        telemetry.enable()
+        done = threading.Event()
+
+        def work():
+            with telemetry.span("worker"):
+                done.wait(timeout=5)
+
+        with telemetry.span("main"):
+            t = threading.Thread(target=work)
+            t.start()
+            done.set()
+            t.join()
+        [main], [worker] = _by_name("main"), _by_name("worker")
+        # The worker's span must not be parented into the main thread's
+        # open span — stacks are per-thread.
+        assert worker.parent_id is None
+        assert worker.tid != main.tid
