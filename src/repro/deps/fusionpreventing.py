@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Literal, Mapping, Sequence
 
 from repro.deps.access import Reference, ValueRange, extract_references
+from repro.poly import memo
 from repro.poly.constraint import Constraint, eq0, ge0
 from repro.poly.integer import check_feasibility
 from repro.poly.polyhedron import Polyhedron
@@ -113,7 +114,55 @@ def violated_dependences(
 
     ``src_group`` restricts to dependences whose source is that group (the
     paper's ``W(k)`` / ``RW(k)`` sets); ``arrays`` restricts the variable.
+
+    Results are memoised per-process on the nest's content fingerprint
+    (plus every filter argument), so variants of a kernel that share base
+    nests share one dependence computation per transform round.
     """
+    if not memo.caching_enabled():
+        return _violated_dependences(
+            nest, kinds, src_group, arrays, value_ranges, param_lo
+        )
+    key = (
+        nest.fingerprint(),
+        ",".join(kinds),
+        "-" if src_group is None else src_group,
+        "-" if arrays is None else ",".join(arrays),
+        _ranges_key(value_ranges),
+        memo.env_key(param_lo),
+    )
+    result = memo.memoize(
+        "viol",
+        key,
+        lambda: _violated_dependences(
+            nest, kinds, src_group, arrays, value_ranges, param_lo
+        ),
+    )
+    # Fresh list per call: memo hits alias the stored value.
+    return list(result)
+
+
+def _ranges_key(value_ranges: Mapping[str, ValueRange] | None) -> str:
+    if not value_ranges:
+        return "-"
+    from repro.ir.serialize import expr_to_dict
+
+    return memo.stable_key(
+        {
+            name: [expr_to_dict(vr.lower), expr_to_dict(vr.upper)]
+            for name, vr in sorted(value_ranges.items())
+        }
+    )
+
+
+def _violated_dependences(
+    nest: FusedNest,
+    kinds: Sequence[Kind],
+    src_group: int | None,
+    arrays: Sequence[str] | None,
+    value_ranges: Mapping[str, ValueRange] | None,
+    param_lo: int | Mapping[str, int],
+) -> list[Violation]:
     refs_by_group: dict[int, list[Reference]] = {
         g.index: extract_references(nest, g, value_ranges) for g in nest.groups
     }

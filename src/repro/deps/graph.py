@@ -26,6 +26,7 @@ from repro.ir.affine import cond_to_constraints, expr_to_linexpr
 from repro.ir.analysis import loop_bound_constraints
 from repro.ir.expr import ArrayRef, Expr, VarRef, walk_expr
 from repro.ir.stmt import Assign, If, Loop, Stmt
+from repro.poly import memo
 from repro.poly.constraint import Constraint, eq0, ge0
 from repro.poly.integer import check_feasibility
 from repro.poly.linexpr import LinExpr
@@ -179,8 +180,46 @@ def dependence_graph(
     Edge ``a -> b`` means some instance of statement ``a`` must execute
     before some conflicting instance of statement ``b`` (flow, anti or
     output — all are ordering constraints for distribution).
+
+    The edge set is memoised (in process and on disk) on the loop's
+    serialized content, so every variant of a kernel — and every later
+    cold build — reuses one analysis per distinct loop nest. A fresh
+    ``DiGraph`` is returned each call; callers may mutate it freely.
     """
     value_ranges = value_ranges or {}
+    if memo.caching_enabled():
+        from repro.ir.serialize import expr_to_dict, stmt_to_dict
+
+        key_doc = {
+            "loop": stmt_to_dict(loop),
+            "scalars": sorted(scalars),
+            "ranges": {
+                name: [expr_to_dict(vr.lower), expr_to_dict(vr.upper)]
+                for name, vr in sorted(value_ranges.items())
+            },
+        }
+        payload = memo.memoize_json(
+            "depgraph",
+            (memo.stable_key(key_doc), memo.env_key(param_lo)),
+            lambda: _graph_payload(loop, scalars, value_ranges, param_lo),
+            encode=lambda p: p,
+            decode=lambda p: p,
+        )
+    else:
+        payload = _graph_payload(loop, scalars, value_ranges, param_lo)
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(payload["n"]))
+    graph.add_edges_from((a, b) for a, b in payload["e"])
+    return graph
+
+
+def _graph_payload(
+    loop: Loop,
+    scalars: frozenset[str],
+    value_ranges: Mapping[str, ValueRange],
+    param_lo: int | Mapping[str, int],
+) -> dict:
+    """Node count and edge list of the dependence graph (JSON-able)."""
     outer = (loop.var,)
     base = loop_bound_constraints(loop)
     namer = NameGenerator({loop.var})
@@ -188,17 +227,14 @@ def dependence_graph(
     for stmt in loop.body:
         accesses.append(_extract(stmt, outer, base, scalars, value_ranges, namer))
 
-    graph = nx.DiGraph()
-    graph.add_nodes_from(range(len(loop.body)))
+    edges: list[list[int]] = []
     for a in range(len(loop.body)):
         for b in range(len(loop.body)):
             if a == b:
                 continue
-            if graph.has_edge(a, b):
-                continue
             if _depends(accesses[a], accesses[b], loop.var, a < b, param_lo):
-                graph.add_edge(a, b)
-    return graph
+                edges.append([a, b])
+    return {"n": len(loop.body), "e": edges}
 
 
 def _depends(

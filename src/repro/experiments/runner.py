@@ -83,9 +83,12 @@ def clear_caches() -> None:
     disk-load) rather than answer from inherited state, so each worker
     starts cold in-process and warm on disk.
     """
+    from repro.poly import memo as poly_memo
+
     _memo.clear()
     _built.clear()
     _compiled.clear()
+    poly_memo.clear_memos()
 
 
 def _cache_dir() -> Path | None:

@@ -245,6 +245,46 @@ def build_variant(
     return (program, report) if with_report else program
 
 
+#: Extra tile edges (beyond the default) the registry build matrix covers
+#: for the tiled variants — with the default-tile builds of all recipes
+#: this yields the 43 registered program points tracked by the
+#: differential tests, the CI oracle job and ``benchmarks/bench_compile``.
+MATRIX_EXTRA_TILES = (16, 32)
+
+
+def registry_build_matrix() -> tuple[tuple[str, str, int | None], ...]:
+    """Every (kernel, variant, tile) build point of the full registry.
+
+    All recipes at the default tile, plus each ``tiled``/``tiled_sunk``
+    recipe at :data:`MATRIX_EXTRA_TILES`.
+    """
+    points: list[tuple[str, str, int | None]] = [
+        (r.kernel, r.variant, None) for r in all_recipes()
+    ]
+    for r in all_recipes():
+        if r.variant in ("tiled", "tiled_sunk"):
+            for t in MATRIX_EXTRA_TILES:
+                points.append((r.kernel, r.variant, t))
+    return tuple(points)
+
+
+def registry_program_hashes() -> dict[str, str]:
+    """Content hash of every emitted program in the registry build matrix.
+
+    The differential guarantee of the analysis-layer cache is stated over
+    this mapping: it must be identical with ``REPRO_POLY_CACHE`` on and
+    off.
+    """
+    from repro.pipeline.recipe import program_fingerprint
+
+    out: dict[str, str] = {}
+    for kernel, variant, tile in registry_build_matrix():
+        program = build_variant(kernel, variant, tile=tile)
+        label = f"{kernel}/{variant}" + ("" if tile is None else f"@t{tile}")
+        out[label] = program_fingerprint(program)
+    return out
+
+
 def build_fused_nest(kernel: str) -> FusedNest:
     """Run the ``fused`` recipe up to (and including) its ``Fuse`` pass."""
     from repro.kernels.registry import get_kernel

@@ -14,6 +14,7 @@ from enum import Enum
 from fractions import Fraction
 from typing import Mapping
 
+from repro.poly import memo
 from repro.poly.linexpr import Coef, LinExpr
 
 
@@ -36,16 +37,49 @@ class Constraint:
       (e.g. ``2x + 1 == 0``), keep as-is — emptiness checks catch it;
     - canonicalise the sign of ``EQ`` constraints (first variable coefficient
       positive) so equal constraints compare equal.
+
+    Constraints are **hash-consed** (unless ``REPRO_POLY_CACHE=off``):
+    construction from the same raw ``(expr, kind)`` returns the same
+    object, so repeated normalisation is skipped, equality usually
+    short-circuits on identity, and cached hashes/fingerprints amortise
+    across every polyhedron sharing the constraint.
     """
 
-    __slots__ = ("expr", "kind", "_hash")
+    __slots__ = ("expr", "kind", "_hash", "_fp")
 
-    def __init__(self, expr: LinExpr, kind: Kind):
+    def __new__(cls, expr: LinExpr, kind: Kind):
         if not isinstance(expr, LinExpr):
-            raise TypeError(f"Constraint expr must be LinExpr, got {type(expr).__name__}")
+            raise TypeError(
+                f"Constraint expr must be LinExpr, got {type(expr).__name__}"
+            )
+        interning = memo.caching_enabled()
+        if interning:
+            key = (kind, expr.key())
+            cached = _INTERN.get(key)
+            if cached is not None:
+                return cached
+        self = super().__new__(cls)
         self.expr = _normalise(expr, kind)
         self.kind = kind
-        self._hash: int | None = None
+        self._hash = None
+        self._fp = None
+        if interning:
+            _INTERN[key] = self
+        return self
+
+    def __init__(self, expr: LinExpr, kind: Kind):
+        # All state is set in __new__ (which may return an interned
+        # instance that must not be re-initialised).
+        pass
+
+    def __reduce__(self):
+        return (Constraint, (self.expr, self.kind))
+
+    def fingerprint_text(self) -> str:
+        """Stable structural identity (process-independent, unlike hash)."""
+        if self._fp is None:
+            self._fp = f"{self.kind.value};{self.expr.fingerprint_text()}"
+        return self._fp
 
     # -- queries -------------------------------------------------------------
     def variables(self) -> frozenset[str]:
@@ -82,6 +116,8 @@ class Constraint:
 
     # -- identity -------------------------------------------------------------
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, Constraint):
             return NotImplemented
         return self.kind is other.kind and self.expr == other.expr
@@ -96,6 +132,15 @@ class Constraint:
 
     def __str__(self) -> str:
         return f"{self.expr} {self.kind.value} 0"
+
+
+def _make_intern_table():
+    from repro.utils.caching import LRUCache
+
+    return memo.register_cache(LRUCache(maxsize=65536))
+
+
+_INTERN = _make_intern_table()
 
 
 def _normalise(expr: LinExpr, kind: Kind) -> LinExpr:

@@ -7,13 +7,32 @@ shadow; ``eliminate(..., require_exact=True)`` enforces that condition and
 raises :class:`~repro.errors.CaseSplitError` when it does not hold, so
 callers can fall back to enumeration instead of silently using an
 over-approximation.
+
+Performance notes (see ``docs/architecture.md``, *Analysis-layer caching*):
+
+- ``eliminate`` and ``project_onto`` are memoised per-process on the
+  polyhedron's structural fingerprint (projections additionally persist
+  to the analysis disk cache), and both cache raised
+  ``CaseSplitError``/``PolyhedronError`` outcomes;
+- the dominant bound combination ``e_lo * (-n) + e_up * p`` takes a
+  pure-addition fast path when both coefficients on the eliminated
+  variable are unit (the common case for loop nests), skipping two
+  ``LinExpr`` allocations and all ``Fraction`` multiplies;
+- ``_cheapest_variable`` counts bounds for *all* candidates in one pass
+  over the constraints instead of one pass per candidate.
+
+All fast paths are disabled together with ``REPRO_POLY_CACHE=off`` so
+the oracle mode doubles as an un-optimised baseline for
+``benchmarks/bench_compile.py``.
 """
 
 from __future__ import annotations
 
 from fractions import Fraction
 
+from repro import telemetry
 from repro.errors import CaseSplitError, PolyhedronError
+from repro.poly import memo
 from repro.poly.constraint import Constraint, Kind, ge0
 from repro.poly.linexpr import LinExpr
 from repro.poly.polyhedron import Polyhedron
@@ -33,7 +52,9 @@ def _prune(constraints: list[Constraint]) -> list[Constraint]:
     for c in constraints:
         if c.is_trivial_true():
             continue
-        key = (c.kind, frozenset(c.expr.terms.items()))
+        # key()[1] is the sorted (var, coef) tuple — cached on the
+        # expression, equivalent to the term frozenset but hash-once.
+        key = (c.kind, c.expr.key()[1])
         prev = best.get(key)
         if prev is None:
             best[key] = c
@@ -57,6 +78,20 @@ def eliminate(poly: Polyhedron, var: str, *, require_exact: bool = False) -> Pol
     """
     if var not in poly.variables:
         raise PolyhedronError(f"{var!r} is not a dimension of {poly!r}")
+    if not memo.caching_enabled():
+        return _eliminate(poly, var, require_exact, fast=False)
+    return memo.memoize(
+        "elim",
+        (poly.fingerprint(), var, require_exact),
+        lambda: _eliminate(poly, var, require_exact, fast=True),
+    )
+
+
+def _eliminate(
+    poly: Polyhedron, var: str, require_exact: bool, *, fast: bool
+) -> Polyhedron:
+    telemetry.counter("poly.fm.eliminations")
+    telemetry.observe("poly.fm.constraints_in", len(poly.constraints))
     new_vars = tuple(v for v in poly.variables if v != var)
 
     # Prefer solving an equality for var.
@@ -92,33 +127,51 @@ def eliminate(poly: Polyhedron, var: str, *, require_exact: bool = False) -> Pol
                 raise CaseSplitError(
                     f"eliminating {var}: bound pair with coefficients {p}, {n}"
                 )
-            new_expr = e_lo * (-n) + e_up * p
+            if fast and p == 1 and n == -1:
+                # Unit coefficients on both bounds: the combination
+                # degenerates to a plain sum (no Fraction multiplies).
+                new_expr = e_lo + e_up
+            else:
+                new_expr = e_lo * (-n) + e_up * p
             assert new_expr.coeff(var) == 0
             combined.append(ge0(new_expr))
     if len(combined) > MAX_CONSTRAINTS:
+        telemetry.counter("poly.fm.blowup")
         raise PolyhedronError(
-            f"Fourier–Motzkin blowup eliminating {var}: {len(combined)} constraints"
+            f"Fourier–Motzkin blowup eliminating {var!r}: {len(combined)} "
+            f"constraints exceed MAX_CONSTRAINTS={MAX_CONSTRAINTS} "
+            f"({len(lowers)} lower x {len(uppers)} upper bounds, "
+            f"{len(passthrough)} passthrough) while projecting a polyhedron "
+            f"over dims {list(poly.variables)}"
         )
+    telemetry.observe("poly.fm.constraints_out", len(combined))
     return Polyhedron(new_vars, _prune(combined))
 
 
 def _cheapest_variable(poly: Polyhedron, candidates: list[str]) -> str:
     """The candidate whose FM growth estimate (lower*upper bound product,
     zero when an equality can substitute it away) is smallest."""
-    best_var = candidates[0]
-    best_cost: float | None = None
-    for v in candidates:
-        nlo = nup = neq = 0
-        for c in poly.constraints:
-            a = c.expr.coeff(v)
-            if a == 0:
+    # One pass over the constraints counts bounds for every candidate at
+    # once; selection order (first candidate wins ties) matches the
+    # original per-candidate scan exactly.
+    wanted = set(candidates)
+    counts: dict[str, list[int]] = {v: [0, 0, 0] for v in candidates}  # lo, up, eq
+    for c in poly.constraints:
+        is_eq = c.kind is Kind.EQ
+        for v, a in c.expr.terms_items():
+            if v not in wanted:
                 continue
-            if c.kind is Kind.EQ:
-                neq += 1
+            tally = counts[v]
+            if is_eq:
+                tally[2] += 1
             elif a > 0:
-                nlo += 1
+                tally[0] += 1
             else:
-                nup += 1
+                tally[1] += 1
+    best_var = candidates[0]
+    best_cost: int | None = None
+    for v in candidates:
+        nlo, nup, neq = counts[v]
         cost = 0 if neq else nlo * nup
         if best_cost is None or cost < best_cost:
             best_cost = cost
@@ -138,10 +191,27 @@ def project_onto(
     unknown = keep_set - set(poly.variables)
     if unknown:
         raise PolyhedronError(f"projection targets {sorted(unknown)} are not dimensions")
+    if not memo.caching_enabled():
+        return _project_onto(poly, tuple(keep), keep_set, require_exact)
+    return memo.memoize_json(
+        "proj",
+        (poly.fingerprint(), ",".join(keep), require_exact),
+        lambda: _project_onto(poly, tuple(keep), keep_set, require_exact),
+        encode=memo.enc_poly,
+        decode=memo.dec_poly,
+    )
+
+
+def _project_onto(
+    poly: Polyhedron,
+    keep: tuple[str, ...],
+    keep_set: set[str],
+    require_exact: bool,
+) -> Polyhedron:
     remaining = [v for v in poly.variables if v not in keep_set]
     current = poly
     while remaining:
         var = _cheapest_variable(current, remaining)
         current = eliminate(current, var, require_exact=require_exact)
         remaining.remove(var)
-    return current.with_variables(tuple(keep))
+    return current.with_variables(keep)

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
+from repro.poly import memo
 from repro.poly.constraint import ge
 from repro.poly.enumerate import enumerate_points
 from repro.poly.fm import project_onto
@@ -53,6 +54,18 @@ def rationally_empty(poly: Polyhedron) -> bool:
     """True iff the rational relaxation (parameters existential) is empty."""
     if poly.is_trivially_empty():
         return True
+    if not memo.caching_enabled():
+        return _rationally_empty(poly)
+    return memo.memoize_json(
+        "rempty",
+        (poly.fingerprint(),),
+        lambda: _rationally_empty(poly),
+        encode=bool,
+        decode=bool,
+    )
+
+
+def _rationally_empty(poly: Polyhedron) -> bool:
     # Promote parameters to dimensions, then eliminate everything.
     all_vars = tuple(poly.variables) + tuple(sorted(poly.parameters()))
     widened = poly.with_variables(all_vars)
@@ -111,6 +124,30 @@ def check_feasibility(
     param_width: int = DEFAULT_PARAM_WIDTH,
 ) -> FeasibilityResult:
     """Full-detail integer feasibility (see module docstring)."""
+    if not memo.caching_enabled():
+        return _check_feasibility(poly, param_env, param_lo, param_width)
+    return memo.memoize_json(
+        "feas",
+        (
+            poly.fingerprint(),
+            memo.env_key(param_env),
+            memo.env_key(param_lo),
+            param_width,
+        ),
+        lambda: _check_feasibility(poly, param_env, param_lo, param_width),
+        encode=lambda r: {"f": r.feasible, "w": r.witness, "d": r.decisive},
+        decode=lambda p: FeasibilityResult(
+            p["f"], dict(p["w"]) if p["w"] is not None else None, p["d"]
+        ),
+    )
+
+
+def _check_feasibility(
+    poly: Polyhedron,
+    param_env: Mapping[str, Coef] | None,
+    param_lo: Mapping[str, int] | int,
+    param_width: int,
+) -> FeasibilityResult:
     if param_env is not None:
         witness = find_integer_point(poly, param_env)
         return FeasibilityResult(witness is not None, witness, decisive=True)

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Mapping
 
 from repro.errors import CaseSplitError, UnboundedError
+from repro.poly import memo
 from repro.poly.enumerate import enumerate_points
 from repro.poly.fm import project_onto
 from repro.poly.integer import rationally_empty
@@ -33,6 +34,21 @@ def lexmin_enumerate(
     poly: Polyhedron, param_env: Mapping[str, Coef] | None = None
 ) -> dict[str, int] | None:
     """Exact lexmin by enumeration (points stream in lexicographic order)."""
+    if not memo.caching_enabled():
+        return _lexmin_enumerate(poly, param_env)
+    point = memo.memoize_json(
+        "lexenum",
+        (poly.fingerprint(), memo.env_key(param_env)),
+        lambda: _lexmin_enumerate(poly, param_env),
+        encode=lambda p: p,
+        decode=lambda p: p,
+    )
+    return dict(point) if point is not None else None
+
+
+def _lexmin_enumerate(
+    poly: Polyhedron, param_env: Mapping[str, Coef] | None
+) -> dict[str, int] | None:
     for point in enumerate_points(poly, param_env, limit=1):
         return point
     return None
@@ -52,6 +68,24 @@ def parametric_lexmin(
     *param_domain* (over the parameter names) restricts the parameter values
     considered when proving bound domination; pass e.g. ``{N >= 4}``.
     """
+    if not memo.caching_enabled():
+        return _parametric_lexmin(poly, param_domain)
+    domain_fp = param_domain.fingerprint() if param_domain is not None else "-"
+    value = memo.memoize_json(
+        "plexmin",
+        (poly.fingerprint(), domain_fp),
+        lambda: _parametric_lexmin(poly, param_domain),
+        encode=lambda r: None if r is None else [memo.enc_linexpr(e) for e in r],
+        decode=lambda p: None if p is None else [memo.dec_linexpr(e) for e in p],
+    )
+    # Fresh list per call: memo hits alias the stored value.
+    return list(value) if value is not None else None
+
+
+def _parametric_lexmin(
+    poly: Polyhedron,
+    param_domain: Polyhedron | None,
+) -> list[LinExpr] | None:
     if rationally_empty(poly):
         return None
     current = poly

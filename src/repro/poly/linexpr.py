@@ -29,15 +29,27 @@ def _frac(value: Coef) -> Fraction:
     raise TypeError(f"coefficient must be rational, got {type(value).__name__}")
 
 
+def _fadd(a: Fraction, b: Fraction) -> Fraction:
+    """Fraction addition with an integer fast path.
+
+    The common case throughout Fourier–Motzkin is denominator-1 values;
+    adding those as plain ints skips ``Fraction.__add__``'s gcd work.
+    """
+    if a.denominator == 1 and b.denominator == 1:
+        return Fraction(a.numerator + b.numerator)
+    return a + b
+
+
 class LinExpr:
     """An immutable affine expression ``sum(coef[v] * v) + const``.
 
     Zero coefficients are never stored, so two equal expressions always have
     identical term dictionaries; this makes ``__eq__``/``__hash__`` cheap and
-    reliable.
+    reliable. The canonical :meth:`key` (terms sorted by variable name) is
+    computed once and backs structural fingerprints and memo keys.
     """
 
-    __slots__ = ("_terms", "_const", "_hash")
+    __slots__ = ("_terms", "_const", "_hash", "_key")
 
     def __init__(self, terms: Mapping[str, Coef] | None = None, const: Coef = 0):
         items = {}
@@ -51,6 +63,18 @@ class LinExpr:
         self._terms: dict[str, Fraction] = items
         self._const: Fraction = _frac(const)
         self._hash: int | None = None
+        self._key: tuple | None = None
+
+    @classmethod
+    def _raw(cls, terms: dict[str, Fraction], const: Fraction) -> "LinExpr":
+        """Internal fast constructor: *terms* must already be a fresh dict
+        of nonzero ``Fraction`` values and *const* a ``Fraction``."""
+        self = object.__new__(cls)
+        self._terms = terms
+        self._const = const
+        self._hash = None
+        self._key = None
+        return self
 
     # -- constructors -----------------------------------------------------
     @staticmethod
@@ -73,6 +97,25 @@ class LinExpr:
     def constant(self) -> Fraction:
         """The constant term."""
         return self._const
+
+    def terms_items(self):
+        """Live ``(var, coef)`` items view — read-only by convention; the
+        hot analysis paths use it to avoid the defensive copy of
+        :attr:`terms`."""
+        return self._terms.items()
+
+    def key(self) -> tuple:
+        """Canonical hashable identity: ``(const, ((var, coef), ...))``
+        with terms sorted by variable name (computed once)."""
+        if self._key is None:
+            self._key = (self._const, tuple(sorted(self._terms.items())))
+        return self._key
+
+    def fingerprint_text(self) -> str:
+        """Deterministic text form backing structural fingerprints (unlike
+        ``hash()``, stable across processes)."""
+        const, terms = self.key()
+        return f"{const}:" + ",".join(f"{v}*{c}" for v, c in terms)
 
     def coeff(self, var: str) -> Fraction:
         """Coefficient of *var* (0 if absent)."""
@@ -101,13 +144,23 @@ class LinExpr:
         other = _coerce(other)
         terms = dict(self._terms)
         for var, coef in other._terms.items():
-            terms[var] = terms.get(var, Fraction(0)) + coef
-        return LinExpr(terms, self._const + other._const)
+            prev = terms.get(var)
+            if prev is None:
+                terms[var] = coef
+            else:
+                merged = _fadd(prev, coef)
+                if merged == 0:
+                    del terms[var]
+                else:
+                    terms[var] = merged
+        return LinExpr._raw(terms, _fadd(self._const, other._const))
 
     __radd__ = __add__
 
     def __neg__(self) -> "LinExpr":
-        return LinExpr({v: -c for v, c in self._terms.items()}, -self._const)
+        return LinExpr._raw(
+            {v: -c for v, c in self._terms.items()}, -self._const
+        )
 
     def __sub__(self, other: "LinExpr | Coef") -> "LinExpr":
         return self + (-_coerce(other))
@@ -117,7 +170,13 @@ class LinExpr:
 
     def __mul__(self, scalar: Coef) -> "LinExpr":
         f = _frac(scalar)
-        return LinExpr({v: c * f for v, c in self._terms.items()}, self._const * f)
+        if f == 0:
+            return LinExpr._raw({}, Fraction(0))
+        # Fraction products of nonzero factors are nonzero, so the no-zero
+        # invariant survives without re-filtering.
+        return LinExpr._raw(
+            {v: c * f for v, c in self._terms.items()}, self._const * f
+        )
 
     __rmul__ = __mul__
 
@@ -130,21 +189,41 @@ class LinExpr:
     # -- substitution / evaluation ------------------------------------------
     def substitute(self, bindings: Mapping[str, "LinExpr | Coef"]) -> "LinExpr":
         """Replace each bound variable by an affine expression."""
-        result = LinExpr({}, self._const)
+        terms: dict[str, Fraction] = {}
+        const = self._const
         for var, coef in self._terms.items():
-            if var in bindings:
-                result = result + _coerce(bindings[var]) * coef
-            else:
-                result = result + LinExpr.var(var, coef)
-        return result
+            bound = bindings.get(var)
+            if bound is None and var not in bindings:
+                prev = terms.get(var)
+                merged = coef if prev is None else _fadd(prev, coef)
+                if merged == 0:
+                    terms.pop(var, None)
+                else:
+                    terms[var] = merged
+                continue
+            replacement = _coerce(bound)
+            const = _fadd(const, replacement._const * coef)
+            for v, c in replacement._terms.items():
+                prev = terms.get(v)
+                merged = c * coef if prev is None else _fadd(prev, c * coef)
+                if merged == 0:
+                    terms.pop(v, None)
+                else:
+                    terms[v] = merged
+        return LinExpr._raw(terms, const)
 
     def rename(self, mapping: Mapping[str, str]) -> "LinExpr":
         """Rename variables; unmapped variables keep their names."""
         terms: dict[str, Fraction] = {}
         for var, coef in self._terms.items():
             new = mapping.get(var, var)
-            terms[new] = terms.get(new, Fraction(0)) + coef
-        return LinExpr(terms, self._const)
+            prev = terms.get(new)
+            merged = coef if prev is None else _fadd(prev, coef)
+            if merged == 0:
+                terms.pop(new, None)
+            else:
+                terms[new] = merged
+        return LinExpr._raw(terms, self._const)
 
     def evaluate(self, env: Mapping[str, Coef]) -> Fraction:
         """Evaluate with every variable bound in *env*."""

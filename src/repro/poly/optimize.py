@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Iterable, Mapping
 
 from repro.errors import PolyhedronError, UnboundedError
+from repro.poly import memo
 from repro.poly.constraint import equals
 from repro.poly.fm import project_onto
 from repro.poly.integer import rationally_empty
@@ -42,21 +43,37 @@ def parametric_max(poly: Polyhedron, objective: LinExpr) -> SymExpr | None:
     For the unit-coefficient systems produced by loop nests this equals the
     integer maximum; tests cross-check against enumeration.
     """
-    if rationally_empty(poly):
-        return None
-    shadow, t = _objective_shadow(poly, objective)
-    _, uppers = shadow.bounds_on(t)
-    if not uppers:
-        raise UnboundedError(f"objective {objective} unbounded above on {poly}")
-    return sym_min(uppers)
+    if not memo.caching_enabled():
+        return _parametric_extreme(poly, objective, want_max=True)
+    return memo.memoize(
+        "pmax",
+        (poly.fingerprint(), objective.fingerprint_text()),
+        lambda: _parametric_extreme(poly, objective, want_max=True),
+    )
 
 
 def parametric_min(poly: Polyhedron, objective: LinExpr) -> SymExpr | None:
     """Symbolic minimum of *objective* over *poly* (see parametric_max)."""
+    if not memo.caching_enabled():
+        return _parametric_extreme(poly, objective, want_max=False)
+    return memo.memoize(
+        "pmin",
+        (poly.fingerprint(), objective.fingerprint_text()),
+        lambda: _parametric_extreme(poly, objective, want_max=False),
+    )
+
+
+def _parametric_extreme(
+    poly: Polyhedron, objective: LinExpr, *, want_max: bool
+) -> SymExpr | None:
     if rationally_empty(poly):
         return None
     shadow, t = _objective_shadow(poly, objective)
-    lowers, _ = shadow.bounds_on(t)
+    lowers, uppers = shadow.bounds_on(t)
+    if want_max:
+        if not uppers:
+            raise UnboundedError(f"objective {objective} unbounded above on {poly}")
+        return sym_min(uppers)
     if not lowers:
         raise UnboundedError(f"objective {objective} unbounded below on {poly}")
     return sym_max(lowers)
@@ -76,6 +93,22 @@ def affine_ge(
     diff = lhs - rhs
     if diff.is_constant():
         return diff.constant >= 0
+    if memo.caching_enabled():
+        domain_fp = param_domain.fingerprint() if param_domain is not None else "-"
+        return memo.memoize(
+            "age",
+            (lhs.fingerprint_text(), rhs.fingerprint_text(), domain_fp),
+            lambda: _affine_ge(lhs, rhs, param_domain, diff),
+        )
+    return _affine_ge(lhs, rhs, param_domain, diff)
+
+
+def _affine_ge(
+    lhs: LinExpr,
+    rhs: LinExpr,
+    param_domain: Polyhedron | None,
+    diff: LinExpr,
+) -> bool:
     params: Iterable[str] = sorted(diff.variables())
     if param_domain is None:
         param_domain = Polyhedron(tuple(params))

@@ -128,6 +128,52 @@ class FusedNest:
         """Fused loop variables, outermost first."""
         return tuple(v for v, _, _ in self.fused_loops)
 
+    def fingerprint(self) -> str:
+        """Stable content digest of the whole fused program state.
+
+        Covers everything dependence analysis can observe — base program,
+        context loops, fused loop specs, and each group's body, domain,
+        guard, collapse map and prologue — so it keys the cross-variant
+        dependence memo in :mod:`repro.deps`: variants of one kernel share
+        identical nests until a transform actually rewrites them, and then
+        their fingerprints (and memo entries) diverge. Cached per instance
+        (transforms build new instances via ``replace``, so the content
+        under one instance never changes).
+        """
+        cached = getattr(self, "_fp", None)
+        if cached is not None:
+            return cached
+        from repro.ir.serialize import expr_to_dict, program_to_dict, stmt_to_dict
+        from repro.poly import memo
+
+        def group_doc(g: StmtGroup) -> dict:
+            return {
+                "i": g.index,
+                "body": [stmt_to_dict(s) for s in g.body],
+                "dom": [g.domain.fingerprint(), list(g.domain.variables)],
+                "guard": [c.fingerprint_text() for c in g.guard],
+                "collapsed": {
+                    v: g.collapsed[v].fingerprint_text()
+                    for v in sorted(g.collapsed)
+                },
+                "pro": [stmt_to_dict(s) for s in g.prologue],
+            }
+
+        doc = {
+            "base": program_to_dict(self.base),
+            "ctx": [stmt_to_dict(l) for l in self.context],
+            "fused": [
+                [v, expr_to_dict(lo), expr_to_dict(hi)]
+                for v, lo, hi in self.fused_loops
+            ],
+            "groups": [group_doc(g) for g in self.groups],
+            "pre": [stmt_to_dict(s) for s in self.preamble],
+            "epi": [stmt_to_dict(s) for s in self.epilogue],
+        }
+        fp = memo.stable_key(doc)
+        object.__setattr__(self, "_fp", fp)  # frozen dataclass, pure cache
+        return fp
+
     def space(self) -> Polyhedron:
         """Iteration space over context + fused variables."""
         from repro.ir.analysis import loop_bound_constraints
@@ -276,11 +322,24 @@ def _guarded(guard: tuple[Constraint, ...], body: tuple[Stmt, ...]) -> tuple[Stm
 def _implied_by(space: Polyhedron, constraint: Constraint) -> bool:
     """True when every point of *space* satisfies *constraint* (sound
     rational check; equalities are implied only if literally present)."""
-    from repro.poly.constraint import Kind, ge0
-    from repro.poly.integer import rationally_empty
+    from repro.poly import memo
+    from repro.poly.constraint import Kind
 
     if constraint.kind is Kind.EQ:
         return constraint in space.constraints
+    if not memo.caching_enabled():
+        return _implied_by_check(space, constraint)
+    return memo.memoize(
+        "implied",
+        (space.fingerprint(), constraint.fingerprint_text()),
+        lambda: _implied_by_check(space, constraint),
+    )
+
+
+def _implied_by_check(space: Polyhedron, constraint: Constraint) -> bool:
+    from repro.poly.constraint import ge0
+    from repro.poly.integer import rationally_empty
+
     # Violation of e >= 0 over the integers: e <= -1.
     violating = space.with_constraints([ge0(-constraint.expr - 1)])
     return rationally_empty(violating)

@@ -2,9 +2,12 @@
 
 import pytest
 
-from repro.errors import PolyhedronError, TransformError
+from repro import telemetry
+from repro.errors import CaseSplitError, PolyhedronError, TransformError
+from repro.poly import memo
 from repro.poly.constraint import eq0, ge, le
 from repro.poly.fm import MAX_CONSTRAINTS, _prune, eliminate
+from repro.poly.lexmin import lexmin_with_fallback, parametric_lexmin
 from repro.poly.linexpr import LinExpr
 from repro.poly.polyhedron import Polyhedron
 
@@ -47,6 +50,101 @@ class TestEliminateEdges:
         out = eliminate(p, "i")
         # rational substitution: j/2 in [0, 8] -> j in [0, 8]
         assert out.contains({"j": 8})
+
+    def test_blowup_error_carries_context(self):
+        lowers = [ge(i, LinExpr.var(f"a{k}")) for k in range(80)]
+        uppers = [le(i, LinExpr.var(f"b{k}")) for k in range(80)]
+        p = Polyhedron(("i",), lowers + uppers)
+        with pytest.raises(PolyhedronError) as exc:
+            eliminate(p, "i")
+        msg = str(exc.value)
+        assert "'i'" in msg  # the variable being eliminated
+        assert str(MAX_CONSTRAINTS) in msg  # the cap that was exceeded
+        assert "80 lower x 80 upper" in msg  # the bound counts
+        assert "['i']" in msg  # the originating polyhedron dims
+
+    def test_blowup_counted_in_telemetry(self):
+        telemetry.enable()
+        try:
+            telemetry.reset()
+            memo.clear_memos()
+            lowers = [ge(i, LinExpr.var(f"a{k}")) for k in range(80)]
+            uppers = [le(i, LinExpr.var(f"b{k}")) for k in range(80)]
+            p = Polyhedron(("i",), lowers + uppers)
+            with pytest.raises(PolyhedronError):
+                eliminate(p, "i")
+            assert telemetry.counter_value("poly.fm.blowup") == 1
+        finally:
+            telemetry.disable()
+            telemetry.reset()
+
+
+class TestRequireExact:
+    def test_nonunit_equality_raises(self):
+        p = Polyhedron(("i", "j"), [eq0(i * 2 - j), ge(j, 0), le(j, 8)])
+        with pytest.raises(CaseSplitError, match="not unit"):
+            eliminate(p, "i", require_exact=True)
+
+    def test_nonunit_bound_pair_raises(self):
+        # 2i >= j and 3i <= N: both coefficients non-unit.
+        p = Polyhedron(("i", "j"), [ge(i * 2, j), le(i * 3, N), ge(j, 0)])
+        with pytest.raises(CaseSplitError, match="bound pair"):
+            eliminate(p, "i", require_exact=True)
+
+    def test_one_unit_side_is_accepted(self):
+        # i >= j (unit) with 2i <= N (non-unit): one unit side suffices.
+        p = Polyhedron(("i", "j"), [ge(i, j), le(i * 2, N), ge(j, 0)])
+        out = eliminate(p, "i", require_exact=True)
+        assert "j" in out.variables
+
+    def test_exact_matches_inexact_on_unit_system(self):
+        p = Polyhedron(
+            ("i", "j"), [ge(i, 0), le(i, N), ge(j, i), le(j, N)]
+        )
+        exact = eliminate(p, "i", require_exact=True)
+        loose = eliminate(p, "i")
+        assert exact == loose
+
+
+class TestLexminFallback:
+    def test_empty_polyhedron_returns_none(self):
+        p = Polyhedron(("i",), [ge(i, 1), le(i, 0)])
+        assert parametric_lexmin(p) is None
+        assert lexmin_with_fallback(p, param_env={"N": 5}) is None
+
+    def test_equality_only_system(self):
+        p = Polyhedron(("i", "j"), [eq0(i - 3), eq0(j - i - 1)])
+        out = parametric_lexmin(p)
+        assert out == [LinExpr.const(3), LinExpr.const(4)]
+
+    def test_parametric_equality_system(self):
+        p = Polyhedron(("i",), [eq0(i - N)])
+        out = parametric_lexmin(p)
+        assert out == [N]
+
+    def test_nonunit_raises_case_split_without_env(self):
+        # 2i == N has no single affine integer lexmin over all N.
+        p = Polyhedron(("i",), [eq0(i * 2 - N), ge(i, 0)])
+        with pytest.raises(CaseSplitError):
+            lexmin_with_fallback(p)
+
+    def test_nonunit_falls_back_to_enumeration_with_env(self):
+        p = Polyhedron(("i",), [eq0(i * 2 - N), ge(i, 0)])
+        out = lexmin_with_fallback(p, param_env={"N": 8})
+        assert out == [LinExpr.const(4)]
+
+    def test_fallback_empty_under_env_returns_none(self):
+        # 2i == N is infeasible for odd N: enumeration finds nothing.
+        p = Polyhedron(("i",), [eq0(i * 2 - N), ge(i, 0), le(i, N)])
+        assert lexmin_with_fallback(p, param_env={"N": 7}) is None
+
+    def test_fallback_results_cached_consistently(self):
+        # Same query twice: the memoised error and the memoised enumeration
+        # must reproduce the first answers exactly.
+        p = Polyhedron(("i",), [eq0(i * 2 - N), ge(i, 0)])
+        first = lexmin_with_fallback(p, param_env={"N": 8})
+        second = lexmin_with_fallback(p, param_env={"N": 8})
+        assert first == second == [LinExpr.const(4)]
 
 
 class TestLoopgenEdges:
